@@ -1,0 +1,133 @@
+// Google-benchmark microbenchmarks of the individual traversal kernels and
+// substrate primitives — the per-edge costs behind every figure.
+#include <benchmark/benchmark.h>
+
+#include "engine/edge_map.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/hilbert.hpp"
+#include "suite.hpp"
+#include "sys/atomics.hpp"
+#include "sys/bitmap.hpp"
+#include "sys/parallel.hpp"
+
+namespace {
+
+using namespace grind;
+
+const graph::Graph& micro_graph() {
+  static const graph::Graph g = [] {
+    graph::BuildOptions b;
+    b.num_partitions = 256;
+    b.build_partitioned_csr = true;
+    return graph::Graph::build(graph::rmat(16, 16, 7), b);
+  }();
+  return g;
+}
+
+struct AccumOp {
+  double* acc;
+  const double* x;
+  bool update(vid_t s, vid_t d, weight_t w) {
+    acc[d] += static_cast<double>(w) * x[s];
+    return false;
+  }
+  bool update_atomic(vid_t s, vid_t d, weight_t w) {
+    atomic_add(acc[d], static_cast<double>(w) * x[s]);
+    return false;
+  }
+  [[nodiscard]] bool cond(vid_t) const { return true; }
+};
+
+void run_layout(benchmark::State& state, engine::Layout layout,
+                engine::AtomicsMode atomics) {
+  const auto& g = micro_graph();
+  std::vector<double> acc(g.num_vertices(), 0.0);
+  std::vector<double> x(g.num_vertices(), 1.0);
+  engine::Options opts;
+  opts.layout = layout;
+  opts.atomics = atomics;
+  for (auto _ : state) {
+    Frontier all = Frontier::all(g.num_vertices(), &g.csr());
+    engine::edge_map(g, all, AccumOp{acc.data(), x.data()}, opts);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+void BM_EdgeMap_CooNoAtomics(benchmark::State& state) {
+  run_layout(state, engine::Layout::kDenseCoo, engine::AtomicsMode::kForceOff);
+}
+BENCHMARK(BM_EdgeMap_CooNoAtomics);
+
+void BM_EdgeMap_CooAtomics(benchmark::State& state) {
+  run_layout(state, engine::Layout::kDenseCoo, engine::AtomicsMode::kForceOn);
+}
+BENCHMARK(BM_EdgeMap_CooAtomics);
+
+void BM_EdgeMap_BackwardCsc(benchmark::State& state) {
+  run_layout(state, engine::Layout::kBackwardCsc,
+             engine::AtomicsMode::kForceOff);
+}
+BENCHMARK(BM_EdgeMap_BackwardCsc);
+
+void BM_EdgeMap_PartitionedCsr(benchmark::State& state) {
+  run_layout(state, engine::Layout::kPartitionedCsr,
+             engine::AtomicsMode::kForceOn);
+}
+BENCHMARK(BM_EdgeMap_PartitionedCsr);
+
+void BM_SparsePush(benchmark::State& state) {
+  const auto& g = micro_graph();
+  std::vector<double> acc(g.num_vertices(), 0.0);
+  std::vector<double> x(g.num_vertices(), 1.0);
+  std::vector<vid_t> verts;
+  for (vid_t v = 0; v < g.num_vertices(); v += 97) verts.push_back(v);
+  for (auto _ : state) {
+    Frontier f = Frontier::from_vertices(g.num_vertices(), verts, &g.csr());
+    AccumOp op{acc.data(), x.data()};
+    eid_t edges = 0;
+    engine::traverse_csr_sparse(g, f, op, &edges);
+    benchmark::DoNotOptimize(edges);
+  }
+}
+BENCHMARK(BM_SparsePush);
+
+void BM_HilbertKey(benchmark::State& state) {
+  const std::uint32_t order = 20;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::hilbert_xy_to_d(
+        order, static_cast<std::uint32_t>(i * 2654435761u) & 0xfffffu,
+        static_cast<std::uint32_t>(i * 40503u) & 0xfffffu));
+    ++i;
+  }
+}
+BENCHMARK(BM_HilbertKey);
+
+void BM_FrontierDenseToSparse(benchmark::State& state) {
+  const vid_t n = 1 << 20;
+  Bitmap bits(n);
+  for (vid_t v = 0; v < n; v += 3) bits.set(v);
+  for (auto _ : state) {
+    Bitmap copy = bits;
+    Frontier f = Frontier::from_bitmap(std::move(copy));
+    f.to_sparse();
+    benchmark::DoNotOptimize(f.vertices().data());
+  }
+}
+BENCHMARK(BM_FrontierDenseToSparse);
+
+void BM_PrefixSum(benchmark::State& state) {
+  std::vector<eid_t> in(1 << 20, 3), out(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exclusive_scan(in.data(), out.data(), in.size()));
+  }
+}
+BENCHMARK(BM_PrefixSum);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Algorithm runners shared by the figure benches: run one Table-II workload
+// by its paper code ("BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP")
+// on any traversal engine and return wall-clock seconds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/belief_propagation.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/spmv.hpp"
+#include "sys/stats.hpp"
+#include "sys/timer.hpp"
+
+namespace grind::bench {
+
+/// Table II, in paper order.
+inline const std::vector<std::string>& algorithm_codes() {
+  static const std::vector<std::string> kCodes = {
+      "BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP"};
+  return kCodes;
+}
+
+/// Whether the algorithm is vertex-oriented (Table II / §III-D).
+inline bool is_vertex_oriented(const std::string& code) {
+  return code == "BC" || code == "BFS" || code == "BF";
+}
+
+/// Execute one full run of `code` on `eng`; `source` seeds BFS/BC/BF.
+template <typename Eng>
+void run_algorithm(const std::string& code, Eng& eng, vid_t source) {
+  if (code == "BC") {
+    algorithms::betweenness_centrality(eng, source);
+  } else if (code == "CC") {
+    algorithms::connected_components(eng);
+  } else if (code == "PR") {
+    algorithms::pagerank(eng);
+  } else if (code == "BFS") {
+    algorithms::bfs(eng, source);
+  } else if (code == "PRDelta") {
+    algorithms::pagerank_delta(eng);
+  } else if (code == "SPMV") {
+    algorithms::spmv(eng);
+  } else if (code == "BF") {
+    algorithms::bellman_ford(eng, source);
+  } else if (code == "BP") {
+    algorithms::belief_propagation(eng);
+  } else {
+    throw std::invalid_argument("unknown algorithm code: " + code);
+  }
+}
+
+/// Mean seconds over `rounds` timed runs (after one warmup).
+template <typename Eng>
+double time_algorithm(const std::string& code, Eng& eng, vid_t source,
+                      int rounds) {
+  const Samples s = time_rounds(
+      [&] { run_algorithm(code, eng, source); }, rounds, /*warmup=*/1);
+  return s.mean();
+}
+
+}  // namespace grind::bench

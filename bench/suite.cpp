@@ -1,0 +1,77 @@
+#include "suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "sys/env.hpp"
+
+namespace grind::bench {
+
+const std::vector<SuiteEntry>& suite() {
+  static const std::vector<SuiteEntry> kSuite = {
+      {"Twitter", false, "rmat"},
+      {"Friendster", false, "rmat"},
+      {"Orkut", true, "rmat"},
+      {"LiveJournal", false, "rmat"},
+      {"Yahoo_mem", true, "rmat"},
+      {"USAroad", true, "lattice"},
+      {"Powerlaw", false, "chung-lu"},
+      {"RMAT27", false, "rmat"},
+  };
+  return kSuite;
+}
+
+double suite_scale() { return env_double("GG_SCALE", 1.0); }
+
+int suite_rounds() { return env_int("GG_ROUNDS", 3); }
+
+namespace {
+
+/// RMAT scale adjustment: GG_SCALE multiplies the vertex count, so add
+/// log2(scale) to the exponent (rounded).
+int adj(int base_scale, double scale) {
+  return base_scale + static_cast<int>(std::lround(std::log2(scale)));
+}
+
+vid_t adjn(vid_t n, double scale) {
+  return static_cast<vid_t>(static_cast<double>(n) * scale);
+}
+
+}  // namespace
+
+graph::EdgeList make_suite_graph(const std::string& name, double scale) {
+  using namespace graph;
+  // Base sizes preserve each original's edges-per-vertex regime:
+  // Twitter 35, Friendster 14, Orkut 76 (undirected), LiveJournal 14,
+  // Yahoo_mem 19 (undirected), USAroad 2.4, Powerlaw 15, RMAT27 10.
+  if (name == "Twitter") return rmat(adj(18, scale), 16, 101);
+  if (name == "Friendster") return rmat(adj(19, scale), 12, 102);
+  if (name == "Orkut") {
+    EdgeList el = rmat(adj(16, scale), 18, 103);
+    el.symmetrize();
+    return el;
+  }
+  if (name == "LiveJournal") return rmat(adj(16, scale), 14, 104);
+  if (name == "Yahoo_mem") {
+    EdgeList el = rmat(adj(15, scale), 9, 105);
+    el.symmetrize();
+    return el;
+  }
+  if (name == "USAroad") {
+    const auto side = static_cast<vid_t>(360.0 * std::sqrt(scale));
+    return road_lattice(side, side, 0.05, 106);
+  }
+  if (name == "Powerlaw") return powerlaw(adjn(250000, scale), 2.0, 15.0, 107);
+  if (name == "RMAT27") return rmat(adj(19, scale), 10, 108);
+  throw std::invalid_argument("unknown suite graph: " + name);
+}
+
+vid_t max_out_degree_vertex(const graph::Graph& g) {
+  vid_t best = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v)
+    if (g.out_degree(v) > g.out_degree(best)) best = v;
+  return best;
+}
+
+}  // namespace grind::bench

@@ -1,0 +1,10 @@
+#include "algorithms/bc.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template BcResult betweenness_centrality<engine::Engine>(engine::Engine&,
+                                                         vid_t);
+
+}  // namespace grind::algorithms

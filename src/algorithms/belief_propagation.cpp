@@ -1,0 +1,10 @@
+#include "algorithms/belief_propagation.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template BeliefPropagationResult belief_propagation<engine::Engine>(
+    engine::Engine&, BeliefPropagationOptions);
+
+}  // namespace grind::algorithms

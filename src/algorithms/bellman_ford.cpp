@@ -1,0 +1,10 @@
+#include "algorithms/bellman_ford.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template BellmanFordResult bellman_ford<engine::Engine>(engine::Engine&,
+                                                        vid_t);
+
+}  // namespace grind::algorithms

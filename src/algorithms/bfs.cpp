@@ -1,0 +1,11 @@
+// Explicit instantiation of BFS for the primary engine; baseline engines
+// instantiate from the header where used.
+#include "algorithms/bfs.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template BfsResult bfs<engine::Engine>(engine::Engine&, vid_t);
+
+}  // namespace grind::algorithms

@@ -1,0 +1,9 @@
+#include "algorithms/cc.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template CcResult connected_components<engine::Engine>(engine::Engine&);
+
+}  // namespace grind::algorithms

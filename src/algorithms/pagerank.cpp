@@ -1,0 +1,10 @@
+#include "algorithms/pagerank.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template PageRankResult pagerank<engine::Engine>(engine::Engine&,
+                                                 PageRankOptions);
+
+}  // namespace grind::algorithms

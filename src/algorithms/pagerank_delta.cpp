@@ -1,0 +1,10 @@
+#include "algorithms/pagerank_delta.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template PageRankDeltaResult pagerank_delta<engine::Engine>(
+    engine::Engine&, PageRankDeltaOptions);
+
+}  // namespace grind::algorithms

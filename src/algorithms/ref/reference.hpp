@@ -1,0 +1,44 @@
+// Single-threaded reference implementations of every Table-II workload,
+// written independently of the engine (plain adjacency scans) and used as
+// test oracles.  Semantics deliberately mirror the parallel algorithms
+// (PageRank drops dangling mass like Ligra; CC computes the directed
+// label-propagation fixpoint; BP uses the same potentials/priors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "sys/types.hpp"
+
+namespace grind::algorithms::ref {
+
+/// BFS hop distances from `source`; -1 when unreached.
+std::vector<std::int64_t> bfs_levels(const graph::EdgeList& el, vid_t source);
+
+/// Label-propagation fixpoint: labels[v] = min ID that reaches v (including
+/// v itself) along directed paths.
+std::vector<vid_t> cc_labels(const graph::EdgeList& el);
+
+/// Power-method PageRank, Ligra semantics (no dangling redistribution).
+std::vector<double> pagerank(const graph::EdgeList& el, int iterations,
+                             double damping);
+
+/// Dijkstra shortest-path distances (non-negative weights); infinity when
+/// unreached.  Oracle for Bellman-Ford.
+std::vector<double> sssp_dijkstra(const graph::EdgeList& el, vid_t source);
+
+/// y = A·x with A[d][s] = w(s,d).
+std::vector<double> spmv(const graph::EdgeList& el,
+                         const std::vector<double>& x);
+
+/// Brandes single-source dependency scores (unweighted shortest paths).
+std::vector<double> bc_dependency(const graph::EdgeList& el, vid_t source);
+
+/// Serial belief propagation matching algorithms::belief_propagation.
+std::vector<double> belief_propagation(const graph::EdgeList& el,
+                                       int iterations, double q_base,
+                                       double q_scale,
+                                       std::uint64_t prior_seed);
+
+}  // namespace grind::algorithms::ref

@@ -1,0 +1,10 @@
+#include "algorithms/spmv.hpp"
+
+#include "engine/engine.hpp"
+
+namespace grind::algorithms {
+
+template SpmvResult spmv<engine::Engine>(engine::Engine&,
+                                         const std::vector<double>&);
+
+}  // namespace grind::algorithms

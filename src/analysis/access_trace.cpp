@@ -1,0 +1,5 @@
+#include "analysis/access_trace.hpp"
+
+// Trace functions are header-only templates; this translation unit verifies
+// the header is self-contained.
+namespace grind::analysis {}  // namespace grind::analysis

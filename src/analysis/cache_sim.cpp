@@ -1,0 +1,48 @@
+#include "analysis/cache_sim.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace grind::analysis {
+
+CacheSim::CacheSim(CacheConfig cfg) : cfg_(cfg) {
+  if (cfg_.line_bytes == 0 || !std::has_single_bit(cfg_.line_bytes))
+    throw std::invalid_argument("cache line size must be a power of two");
+  if (cfg_.ways == 0) throw std::invalid_argument("ways must be > 0");
+  const std::size_t lines = cfg_.size_bytes / cfg_.line_bytes;
+  sets_ = lines / cfg_.ways;
+  if (sets_ == 0) sets_ = 1;
+  // Round sets down to a power of two for cheap indexing.
+  sets_ = std::size_t{1} << (std::bit_width(sets_) - 1);
+  line_shift_ = static_cast<std::size_t>(std::countr_zero(cfg_.line_bytes));
+  tags_.assign(sets_ * cfg_.ways, kEmptyTag);
+}
+
+bool CacheSim::access(std::uintptr_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  std::uint64_t* ways = &tags_[set * cfg_.ways];
+  const std::uint64_t tag = line;
+
+  for (std::size_t i = 0; i < cfg_.ways; ++i) {
+    if (ways[i] == tag) {
+      // Move to front (MRU).
+      for (std::size_t j = i; j > 0; --j) ways[j] = ways[j - 1];
+      ways[0] = tag;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict LRU (last way), insert at front.
+  for (std::size_t j = cfg_.ways - 1; j > 0; --j) ways[j] = ways[j - 1];
+  ways[0] = tag;
+  ++misses_;
+  return false;
+}
+
+void CacheSim::reset() {
+  tags_.assign(tags_.size(), kEmptyTag);
+  hits_ = misses_ = 0;
+}
+
+}  // namespace grind::analysis

@@ -1,0 +1,84 @@
+#include "analysis/reuse_distance.hpp"
+
+#include <bit>
+
+namespace grind::analysis {
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(std::size_t line_bytes)
+    : line_bytes_(line_bytes == 0 ? 1 : line_bytes) {}
+
+std::size_t ReuseDistanceProfiler::bucket_of(std::uint64_t distance) {
+  if (distance <= 1) return 0;
+  return static_cast<std::size_t>(std::bit_width(distance) - 1);
+}
+
+void ReuseDistanceProfiler::fenwick_add(std::size_t i, std::int64_t delta) {
+  raw_[i] = static_cast<std::uint8_t>(
+      static_cast<std::int64_t>(raw_[i]) + delta);
+  for (; i < fenwick_.size(); i += i & (~i + 1)) fenwick_[i] += delta;
+}
+
+std::int64_t ReuseDistanceProfiler::fenwick_prefix(std::size_t i) const {
+  std::int64_t s = 0;
+  for (; i > 0; i -= i & (~i + 1)) s += fenwick_[i];
+  return s;
+}
+
+void ReuseDistanceProfiler::grow(std::size_t need) {
+  std::size_t cap = fenwick_.empty() ? 1024 : fenwick_.size();
+  while (cap <= need) cap *= 2;
+  raw_.resize(cap, 0);
+  // Rebuild internal nodes from raw occupancy: O(cap), amortised O(1) per
+  // access across doublings.
+  fenwick_.assign(cap, 0);
+  for (std::size_t i = 1; i < cap; ++i) {
+    fenwick_[i] += raw_[i];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent < cap) fenwick_[parent] += fenwick_[i];
+  }
+}
+
+void ReuseDistanceProfiler::access_key(std::uint64_t key) {
+  ++time_;
+  if (fenwick_.size() <= time_) grow(time_);
+
+  const auto it = last_access_.find(key);
+  if (it == last_access_.end()) {
+    ++cold_;
+  } else {
+    const std::uint64_t prev = it->second;
+    // Distinct lines whose most-recent access lies in (prev, time_-1] —
+    // exactly the distinct lines touched since the previous access to key.
+    const auto distance = static_cast<std::uint64_t>(
+        fenwick_prefix(time_ - 1) - fenwick_prefix(prev));
+    const std::size_t b = bucket_of(distance);
+    if (histogram_.size() <= b) histogram_.resize(b + 1, 0);
+    ++histogram_[b];
+    if (distance > max_distance_) max_distance_ = distance;
+    sum_distance_ += distance;
+    ++finite_count_;
+    fenwick_add(prev, -1);
+  }
+  fenwick_add(time_, +1);
+  last_access_[key] = time_;
+}
+
+double ReuseDistanceProfiler::mean_distance() const {
+  return finite_count_ == 0 ? 0.0
+                            : static_cast<double>(sum_distance_) /
+                                  static_cast<double>(finite_count_);
+}
+
+void ReuseDistanceProfiler::reset() {
+  time_ = 0;
+  last_access_.clear();
+  fenwick_.clear();
+  raw_.clear();
+  histogram_.clear();
+  cold_ = 0;
+  max_distance_ = 0;
+  sum_distance_ = 0;
+  finite_count_ = 0;
+}
+
+}  // namespace grind::analysis

@@ -1,0 +1,113 @@
+// Shared traversal machinery for the baseline engines (Ligra, Polymer,
+// GraphGrind-v1).
+//
+// All three baselines drive their dense iterations backward over the whole
+// CSC (or, for the transpose, a gather over the whole CSR); they differ in
+// how the vertex iteration space is *chunked* for scheduling:
+//   * Ligra      — uniform fixed-size vertex chunks over [0, |V|)
+//                  (the work-stealing granularity of cilk_for);
+//   * Polymer    — 4 vertex-balanced NUMA partitions, each split into
+//                  uniform chunks, chunks processed partition-major;
+//   * GG-v1      — 4 NUMA partitions with *edge-balanced* chunks (its ICS'17
+//                  load-balancing contribution).
+//
+// Chunk boundaries are multiples of 64 vertices so next-frontier bitmap
+// words stay single-writer.
+#pragma once
+
+#include <vector>
+
+#include "engine/operators.hpp"
+#include "engine/traverse_csr.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+#include "sys/bitmap.hpp"
+#include "sys/parallel.hpp"
+
+namespace grind::baselines {
+
+/// A contiguous vertex range processed as one schedulable task.
+struct VertexChunk {
+  vid_t begin = 0;
+  vid_t end = 0;
+};
+
+/// Uniform chunks of `chunk` vertices (rounded to 64) covering [0, n).
+std::vector<VertexChunk> make_uniform_chunks(vid_t n, vid_t chunk);
+
+/// Chunks covering [0, n) such that each holds ≈ `target_edges` edges of the
+/// given adjacency (degree = offsets[v+1]-offsets[v]); boundaries rounded up
+/// to multiples of 64.
+std::vector<VertexChunk> make_edge_balanced_chunks(const graph::Csr& adj,
+                                                   eid_t target_edges);
+
+/// Split [0, n) into `parts` vertex-balanced ranges first (the NUMA
+/// partitions), then chunk each range uniformly — Polymer's scheme.
+std::vector<VertexChunk> make_partitioned_uniform_chunks(vid_t n, int parts,
+                                                         vid_t chunk);
+
+/// Dense backward traversal over the whole CSC with an explicit chunk list;
+/// single-writer destinations, no atomics.
+template <engine::EdgeOperator Op>
+Frontier dense_backward_chunked(const graph::Graph& g, Frontier& f, Op& op,
+                                const std::vector<VertexChunk>& chunks) {
+  f.to_dense();
+  const auto& csc = g.csc();
+  const Bitmap& in = f.bitmap();
+  Bitmap next(g.num_vertices());
+
+  parallel_for_dynamic(0, chunks.size(), [&](std::size_t c) {
+    const VertexChunk r = chunks[c];
+    for (vid_t d = r.begin; d < r.end; ++d) {
+      if (!op.cond(d)) continue;
+      const auto neigh = csc.neighbors(d);
+      const auto ws = csc.weights(d);
+      for (std::size_t j = 0; j < neigh.size(); ++j) {
+        const vid_t s = neigh[j];
+        if (!in.get(s)) continue;
+        if (op.update(s, d, ws[j])) next.set(d);
+        if (!op.cond(d)) break;
+      }
+    }
+  });
+
+  Frontier out = Frontier::from_bitmap(std::move(next));
+  out.recount(&g.csr());
+  return out;
+}
+
+/// Transpose analogue: gather per source vertex v over v's out-edges; active
+/// successors contribute to v.  Single writer per v.
+template <engine::EdgeOperator Op>
+Frontier dense_transpose_chunked(const graph::Graph& g, Frontier& f, Op& op,
+                                 const std::vector<VertexChunk>& chunks) {
+  f.to_dense();
+  const auto& csr = g.csr();
+  const Bitmap& in = f.bitmap();
+  Bitmap next(g.num_vertices());
+
+  parallel_for_dynamic(0, chunks.size(), [&](std::size_t c) {
+    const VertexChunk r = chunks[c];
+    for (vid_t v = r.begin; v < r.end; ++v) {
+      if (!op.cond(v)) continue;
+      const auto neigh = csr.neighbors(v);
+      const auto ws = csr.weights(v);
+      for (std::size_t j = 0; j < neigh.size(); ++j) {
+        const vid_t u = neigh[j];
+        if (!in.get(u)) continue;
+        if (op.update(u, v, ws[j])) next.set(v);
+        if (!op.cond(v)) break;
+      }
+    }
+  });
+
+  Frontier out = Frontier::from_bitmap(std::move(next));
+  out.recount(&g.csc());
+  return out;
+}
+
+/// The Ligra direction decision all three baselines share: dense when
+/// |F| + Σ deg⁺ exceeds |E|/20 (Ligra's threshold), else the sparse push.
+[[nodiscard]] bool ligra_is_dense(eid_t weight, eid_t m);
+
+}  // namespace grind::baselines

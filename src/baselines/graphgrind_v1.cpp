@@ -1,0 +1,5 @@
+#include "baselines/graphgrind_v1.hpp"
+
+// GraphGrindV1Engine is header-only; this translation unit verifies the
+// header is self-contained.
+namespace grind::baselines {}  // namespace grind::baselines

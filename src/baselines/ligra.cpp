@@ -1,0 +1,9 @@
+#include "baselines/ligra.hpp"
+
+// LigraEngine is header-only (its edge_map is templated over the operator);
+// this translation unit pins the vtable-free class into the library and
+// verifies the header is self-contained.
+namespace grind::baselines {
+static_assert(LigraEngine::kChunkVertices % 64 == 0,
+              "chunk granularity must preserve bitmap-word ownership");
+}  // namespace grind::baselines

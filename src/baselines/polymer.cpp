@@ -1,0 +1,6 @@
+#include "baselines/polymer.hpp"
+
+namespace grind::baselines {
+static_assert(PolymerEngine::kChunkVertices % 64 == 0,
+              "chunk granularity must preserve bitmap-word ownership");
+}  // namespace grind::baselines

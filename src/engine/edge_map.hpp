@@ -1,0 +1,122 @@
+// The edge-map decision procedure — Algorithm 2 of the paper.
+//
+//   weight = |F| + Σ_{v∈F} deg⁺(v)
+//   weight >  |E|/2   →  dense frontier        → partitioned COO
+//   weight >  |E|/20  →  medium-dense frontier → backward whole-CSC
+//   otherwise         →  sparse frontier       → forward whole-CSR
+//
+// "The distinction of forward vs. backward graph traversal folds into this
+// decision and need no longer be specified by the programmer" (abstract):
+// callers provide one operator with update / update_atomic / cond and the
+// engine picks direction, layout and atomics policy.
+//
+// Options::layout can force a layout for the non-sparse iterations (sparse
+// frontiers always use the unpartitioned CSR, which every configuration in
+// the paper keeps, §III-A1) — this reproduces the Fig 5/6 curves.
+#pragma once
+
+#include "engine/operators.hpp"
+#include "engine/options.hpp"
+#include "engine/traverse_coo.hpp"
+#include "engine/traverse_csc.hpp"
+#include "engine/traverse_csr.hpp"
+#include "engine/traverse_pcsr.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+#include "sys/parallel.hpp"
+#include "sys/timer.hpp"
+
+namespace grind::engine {
+
+/// Pick the traversal kind for frontier weight `w` on a graph of `m` edges.
+/// Exposed separately so tests can probe the decision thresholds directly.
+inline TraversalKind decide_traversal(eid_t w, eid_t m, const Options& opts) {
+  if (opts.layout == Layout::kSparseCsr) return TraversalKind::kSparseCsr;
+  const auto sparse_cut =
+      static_cast<double>(m) * opts.sparse_fraction;  // |E|/20
+  const auto dense_cut = static_cast<double>(m) * opts.dense_fraction;  // |E|/2
+  if (static_cast<double>(w) <= sparse_cut) return TraversalKind::kSparseCsr;
+  switch (opts.layout) {
+    case Layout::kBackwardCsc:
+      return TraversalKind::kBackwardCsc;
+    case Layout::kDenseCoo:
+      return TraversalKind::kDenseCoo;
+    case Layout::kPartitionedCsr:
+      return TraversalKind::kPartitionedCsr;
+    case Layout::kAuto:
+    case Layout::kSparseCsr:
+      break;
+  }
+  if (static_cast<double>(w) <= dense_cut) return TraversalKind::kBackwardCsc;
+  // Dense frontier: COO for edge-oriented algorithms; vertex-oriented ones
+  // stay on the backward CSC (§IV-A's empirical classification).
+  return opts.orientation == Orientation::kVertex
+             ? TraversalKind::kBackwardCsc
+             : TraversalKind::kDenseCoo;
+}
+
+/// Whether a partition-parallel kernel should use atomics: forced by the
+/// options, else elided exactly when each partition can be processed by one
+/// thread — P ≥ threads (§IV-A).
+inline bool decide_atomics(const graph::Graph& g, const Options& opts) {
+  switch (opts.atomics) {
+    case AtomicsMode::kForceOn:
+      return true;
+    case AtomicsMode::kForceOff:
+      return false;
+    case AtomicsMode::kAuto:
+      break;
+  }
+  return g.partitioning_edges().num_partitions() <
+         static_cast<part_t>(num_threads());
+}
+
+/// Apply `op` to the out-edges of the active vertices of `f`; returns the
+/// new frontier of vertices whose update returned true.
+///
+/// `f` is taken by mutable reference because the engine may convert its
+/// representation (sparse list ↔ bitmap) in place; its logical content is
+/// unchanged.
+template <EdgeOperator Op>
+Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
+                  const Options& opts = {}, TraversalStats* stats = nullptr) {
+  if (f.empty()) return Frontier::empty(g.num_vertices());
+
+  const TraversalKind kind =
+      decide_traversal(f.traversal_weight(), g.num_edges(), opts);
+  const bool atomics = decide_atomics(g, opts);
+
+  Timer timer;
+  eid_t edges = 0;
+  Frontier out;
+  bool used_atomics = false;
+  switch (kind) {
+    case TraversalKind::kSparseCsr:
+      out = traverse_csr_sparse(g, f, op, &edges);
+      used_atomics = true;  // sparse forward inherently uses update_atomic
+      break;
+    case TraversalKind::kBackwardCsc: {
+      const auto& ranges =
+          opts.csc_balance == partition::BalanceMode::kVertices
+              ? g.partitioning_vertices()
+              : g.partitioning_edges();
+      out = traverse_csc_backward(g, f, op, ranges, &edges);
+      used_atomics = false;  // backward is single-writer by construction
+      break;
+    }
+    case TraversalKind::kDenseCoo:
+      out = traverse_coo(g, f, op, atomics, &edges);
+      used_atomics = atomics;
+      break;
+    case TraversalKind::kPartitionedCsr:
+      out = traverse_partitioned_csr(g, f, op, atomics, &edges);
+      used_atomics = atomics;
+      break;
+  }
+
+  if (stats != nullptr)
+    stats->record(kind, timer.seconds(), edges, used_atomics);
+  return out;
+}
+
+}  // namespace grind::engine

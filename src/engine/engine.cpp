@@ -1,0 +1,55 @@
+#include "engine/engine.hpp"
+
+#include <sstream>
+
+namespace grind::engine {
+
+std::string to_string(TraversalKind k) {
+  switch (k) {
+    case TraversalKind::kSparseCsr:
+      return "sparse-csr";
+    case TraversalKind::kBackwardCsc:
+      return "backward-csc";
+    case TraversalKind::kDenseCoo:
+      return "dense-coo";
+    case TraversalKind::kPartitionedCsr:
+      return "partitioned-csr";
+  }
+  return "unknown";
+}
+
+std::string to_string(Layout l) {
+  switch (l) {
+    case Layout::kAuto:
+      return "auto";
+    case Layout::kSparseCsr:
+      return "sparse-csr";
+    case Layout::kBackwardCsc:
+      return "backward-csc";
+    case Layout::kDenseCoo:
+      return "dense-coo";
+    case Layout::kPartitionedCsr:
+      return "partitioned-csr";
+  }
+  return "unknown";
+}
+
+std::string Engine::stats_report() const {
+  std::ostringstream os;
+  os << "edge_map traversals: " << stats_.total_calls() << '\n';
+  static constexpr TraversalKind kKinds[] = {
+      TraversalKind::kSparseCsr, TraversalKind::kBackwardCsc,
+      TraversalKind::kDenseCoo, TraversalKind::kPartitionedCsr};
+  for (TraversalKind k : kKinds) {
+    const auto i = static_cast<std::size_t>(k);
+    if (stats_.calls[i] == 0) continue;
+    os << "  " << to_string(k) << ": " << stats_.calls[i] << " calls, "
+       << stats_.seconds[i] << " s, " << stats_.edges_examined[i]
+       << " edges examined\n";
+  }
+  os << "  atomic rounds: " << stats_.atomic_rounds
+     << ", non-atomic rounds: " << stats_.nonatomic_rounds << '\n';
+  return os.str();
+}
+
+}  // namespace grind::engine

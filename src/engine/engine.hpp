@@ -1,0 +1,85 @@
+// User-facing façade binding a composite graph to engine options and
+// accumulated traversal statistics.  Algorithms receive an Engine& and call
+// edge_map / vertex_map; benchmarks reconfigure the options between runs to
+// force layouts ("CSR+a", "COO+na", ...) without rebuilding the graph.
+#pragma once
+
+#include <string>
+
+#include "engine/edge_map.hpp"
+#include "engine/edge_map_transpose.hpp"
+#include "engine/operators.hpp"
+#include "engine/options.hpp"
+#include "engine/vertex_map.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+
+namespace grind::engine {
+
+class Engine {
+ public:
+  explicit Engine(const graph::Graph& g, Options opts = {})
+      : graph_(&g), opts_(opts) {}
+
+  /// Apply an edge operator to the active out-edges of f (Algorithm 2).
+  template <EdgeOperator Op>
+  Frontier edge_map(Frontier& f, Op op) {
+    return engine::edge_map(*graph_, f, std::move(op), opts_,
+                            opts_.collect_stats ? &stats_ : nullptr);
+  }
+
+  /// Apply an edge operator over the transposed graph (data flows d→s).
+  template <EdgeOperator Op>
+  Frontier edge_map_transpose(Frontier& f, Op op) {
+    return engine::edge_map_transpose(*graph_, f, std::move(op), opts_,
+                                      opts_.collect_stats ? &stats_ : nullptr);
+  }
+
+  /// Declare the running algorithm's orientation (§III-D); maps to the CSC
+  /// computation-range balance criterion.
+  void set_orientation(Orientation o) {
+    orientation_ = o;
+    opts_.orientation = o;
+    opts_.csc_balance = o == Orientation::kVertex
+                            ? partition::BalanceMode::kVertices
+                            : partition::BalanceMode::kEdges;
+  }
+  [[nodiscard]] Orientation orientation() const { return orientation_; }
+
+  /// Filtered vertex map over the active vertices.
+  template <typename Fn>
+  Frontier vertex_map(const Frontier& f, Fn&& fn) {
+    return engine::vertex_map(*graph_, f, std::forward<Fn>(fn));
+  }
+
+  /// Unfiltered apply over the active vertices.
+  template <typename Fn>
+  void vertex_foreach(const Frontier& f, Fn&& fn) {
+    engine::vertex_foreach(f, std::forward<Fn>(fn));
+  }
+
+  /// Apply over all |V| vertices.
+  template <typename Fn>
+  void vertex_foreach_all(Fn&& fn) {
+    engine::vertex_foreach_all(graph_->num_vertices(), std::forward<Fn>(fn));
+  }
+
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+  [[nodiscard]] Options& options() { return opts_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  [[nodiscard]] const TraversalStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TraversalStats{}; }
+
+  /// Multi-line human-readable statistics summary (kernel mix, time split,
+  /// atomic vs non-atomic rounds).
+  [[nodiscard]] std::string stats_report() const;
+
+ private:
+  const graph::Graph* graph_;
+  Options opts_;
+  TraversalStats stats_;
+  Orientation orientation_ = Orientation::kEdge;
+};
+
+}  // namespace grind::engine

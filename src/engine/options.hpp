@@ -1,0 +1,108 @@
+// Runtime configuration and statistics for the edge-traversal engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "partition/partitioner.hpp"
+#include "sys/types.hpp"
+
+namespace grind::engine {
+
+/// Which traversal the engine uses for non-sparse frontiers.  kAuto is the
+/// paper's Algorithm 2; the others force one layout, reproducing the Fig 5/6
+/// configurations.
+enum class Layout {
+  kAuto,            ///< Algorithm 2: sparse→CSR, medium→CSC, dense→COO
+  kSparseCsr,       ///< always forward over the whole CSR (Ligra-sparse style)
+  kBackwardCsc,     ///< always backward over whole CSC, partitioned ranges
+  kDenseCoo,        ///< always partitioned COO
+  kPartitionedCsr,  ///< always partitioned pruned CSR (Fig 5 "CSR" curves)
+};
+
+/// Atomics policy for the partition-parallel kernels ("+a" / "+na" in the
+/// figures).  kAuto elides atomics whenever every partition is processed by
+/// a single thread (P ≥ threads — §IV-A).
+enum class AtomicsMode { kAuto, kForceOn, kForceOff };
+
+/// Algorithm orientation (§III-D): vertex-oriented algorithms (BFS, BC,
+/// Bellman-Ford) perform ~constant work per vertex and balance traversal by
+/// source vertices; edge-oriented ones balance by edges.  Algorithms declare
+/// their orientation to the engine; engines map it to a balance criterion.
+enum class Orientation { kVertex, kEdge };
+
+/// Frontier density classes of Algorithm 2.
+enum class Density { kSparse, kMedium, kDense };
+
+/// Classify a frontier of traversal weight `w` (= |F| + Σ deg⁺) on a graph
+/// of `m` edges with the paper's thresholds (5 % sparse, 50 % dense).
+inline Density classify_density(eid_t w, eid_t m, double sparse_fraction = 0.05,
+                                double dense_fraction = 0.5) {
+  const auto wd = static_cast<double>(w);
+  if (wd <= static_cast<double>(m) * sparse_fraction) return Density::kSparse;
+  if (wd > static_cast<double>(m) * dense_fraction) return Density::kDense;
+  return Density::kMedium;
+}
+
+/// Engine options.  Defaults reproduce the GG-v2 configuration.
+struct Options {
+  Layout layout = Layout::kAuto;
+  AtomicsMode atomics = AtomicsMode::kAuto;
+
+  /// Frontier-density thresholds of Algorithm 2, as fractions of |E|:
+  /// weight ≤ sparse_fraction·|E| → sparse; > dense_fraction·|E| → dense;
+  /// otherwise medium-dense.
+  double sparse_fraction = 0.05;  // |E|/20
+  double dense_fraction = 0.50;   // |E|/2
+
+  /// Balance criterion for the CSC computation range (§III-D): edge-oriented
+  /// algorithms balance edges, vertex-oriented ones balance vertices.
+  partition::BalanceMode csc_balance = partition::BalanceMode::kEdges;
+
+  /// The running algorithm's orientation.  §IV-A: "Vertex-oriented
+  /// algorithms perform best when using the CSC layout, while edge-oriented
+  /// algorithms perform best using the COO layout" — in kAuto mode, dense
+  /// frontiers of vertex-oriented algorithms are routed to the backward CSC
+  /// (whose per-destination early exit suits claim-style operators) instead
+  /// of the COO.
+  Orientation orientation = Orientation::kEdge;
+
+  /// Collect per-traversal statistics (cheap; on by default).
+  bool collect_stats = true;
+};
+
+/// Which kernel a single edge_map call selected.
+enum class TraversalKind : std::uint8_t {
+  kSparseCsr = 0,
+  kBackwardCsc = 1,
+  kDenseCoo = 2,
+  kPartitionedCsr = 3,
+};
+
+/// Human-readable kernel name ("sparse-csr", ...).
+std::string to_string(TraversalKind k);
+std::string to_string(Layout l);
+
+/// Aggregated engine statistics, one counter set per kernel.
+struct TraversalStats {
+  std::uint64_t calls[4] = {};
+  double seconds[4] = {};
+  std::uint64_t edges_examined[4] = {};
+  std::uint64_t atomic_rounds = 0;     ///< traversals that used atomics
+  std::uint64_t nonatomic_rounds = 0;  ///< traversals that elided atomics
+
+  void record(TraversalKind k, double secs, std::uint64_t edges,
+              bool used_atomics) {
+    const auto i = static_cast<std::size_t>(k);
+    ++calls[i];
+    seconds[i] += secs;
+    edges_examined[i] += edges;
+    if (used_atomics) ++atomic_rounds; else ++nonatomic_rounds;
+  }
+
+  [[nodiscard]] std::uint64_t total_calls() const {
+    return calls[0] + calls[1] + calls[2] + calls[3];
+  }
+};
+
+}  // namespace grind::engine

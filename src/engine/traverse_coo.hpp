@@ -1,0 +1,84 @@
+// Dense traversal over the partitioned COO layout (Algorithm 2, line 2).
+//
+// Every edge is visited exactly once regardless of vertex replication
+// (§II-F), and the per-partition edge order (source / destination / Hilbert)
+// controls memory locality (§IV-C).
+//
+// Two variants reproduce the "+na" / "+a" configurations of Figs 5–6:
+//   * no-atomics: one task per partition.  Partitioning-by-destination makes
+//     every partition's update set disjoint, and 64-vertex-aligned partition
+//     boundaries keep next-frontier bitmap words single-writer, so plain
+//     loads/stores suffice (§III-C).
+//   * atomics: each partition's edge range is split into fixed-size chunks
+//     (providing intra-partition parallelism when P < threads); chunks of
+//     the same partition may update a destination concurrently, requiring
+//     op.update_atomic and atomic bitmap sets.  Once partitions shrink to a
+//     single chunk (high P) the atomics are contention-free and the +a/+na
+//     gap collapses to the bare instruction overhead — the 6.1–23.7 %
+//     window the paper reports at 48 partitions (§IV-A).
+#pragma once
+
+#include <algorithm>
+
+#include "engine/operators.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+#include "sys/bitmap.hpp"
+#include "sys/parallel.hpp"
+
+namespace grind::engine {
+
+template <EdgeOperator Op>
+Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
+                      bool use_atomics, eid_t* edges_examined) {
+  f.to_dense();
+  const auto& coo = g.coo();
+  const Bitmap& in = f.bitmap();
+  Bitmap next(g.num_vertices());
+
+  if (edges_examined != nullptr) *edges_examined = coo.num_edges();
+
+  if (!use_atomics) {
+    const part_t np = coo.num_partitions();
+    parallel_for_dynamic(0, np, [&](std::size_t p) {
+      for (const Edge& e : coo.edges(static_cast<part_t>(p))) {
+        if (in.get(e.src) && op.cond(e.dst) &&
+            op.update(e.src, e.dst, e.weight)) {
+          next.set(e.dst);
+        }
+      }
+    });
+  } else {
+    // Chunk within partitions: (partition, edge sub-range) work items.
+    constexpr eid_t kChunk = 1 << 14;
+    struct WorkItem {
+      part_t part;
+      eid_t begin;
+      eid_t end;
+    };
+    std::vector<WorkItem> items;
+    const part_t np = coo.num_partitions();
+    for (part_t p = 0; p < np; ++p) {
+      const eid_t m = coo.edges(p).size();
+      for (eid_t lo = 0; lo < m; lo += kChunk)
+        items.push_back({p, lo, std::min(m, lo + kChunk)});
+    }
+    parallel_for_dynamic(0, items.size(), [&](std::size_t w) {
+      const WorkItem& it = items[w];
+      const auto es = coo.edges(it.part);
+      for (eid_t i = it.begin; i < it.end; ++i) {
+        const Edge& e = es[i];
+        if (in.get(e.src) && op.cond(e.dst) &&
+            op.update_atomic(e.src, e.dst, e.weight)) {
+          next.set_atomic(e.dst);
+        }
+      }
+    });
+  }
+
+  Frontier out = Frontier::from_bitmap(std::move(next));
+  out.recount(&g.csr());
+  return out;
+}
+
+}  // namespace grind::engine

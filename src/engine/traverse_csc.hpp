@@ -1,0 +1,84 @@
+// Medium-dense backward traversal (Algorithm 2, line 4): the whole-graph CSC
+// with a *partitioned computation range*.
+//
+// Partitioning-by-destination leaves CSC edge order unchanged (§II-C), so
+// the index is unpartitioned; what is partitioned is the iteration space:
+// each task owns one partition's destination range, giving (a) edge- or
+// vertex-balanced load depending on the algorithm's orientation (§III-D) and
+// (b) single-writer destinations — no atomics (§IV-B: "in BFS there is no
+// need to use atomics in the CSC case as it uses a backward edge traversal").
+//
+// Per destination d with cond(d) true, in-edges are scanned; once an update
+// deactivates cond(d) the scan breaks early (the direction-optimising trick
+// of Beamer et al. that makes backward traversal cheap on dense frontiers).
+#pragma once
+
+#include "engine/operators.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+#include "sys/bitmap.hpp"
+#include "sys/parallel.hpp"
+
+namespace grind::engine {
+
+/// Vertices per schedulable sub-chunk of a partition range.  A multiple of
+/// 64 so sub-chunks never share a bitmap word; small enough that a skewed
+/// in-degree block cannot straggle an entire partition (the intra-partition
+/// parallelism the paper gets from a NUMA domain's threads).
+inline constexpr vid_t kCscSubChunk = 256;
+
+/// Split the partitioning's ranges into word-aligned sub-chunks.
+inline std::vector<VertexRange> csc_sub_chunks(
+    const partition::Partitioning& ranges) {
+  std::vector<VertexRange> chunks;
+  for (part_t p = 0; p < ranges.num_partitions(); ++p) {
+    const VertexRange r = ranges.range(p);
+    for (vid_t v = r.begin; v < r.end; v += kCscSubChunk)
+      chunks.push_back({v, std::min<vid_t>(r.end, v + kCscSubChunk)});
+  }
+  if (chunks.empty()) chunks.push_back({0, 0});
+  return chunks;
+}
+
+template <EdgeOperator Op>
+Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
+                               const partition::Partitioning& ranges,
+                               eid_t* edges_examined) {
+  f.to_dense();
+  const auto& csc = g.csc();
+  const Bitmap& in = f.bitmap();
+  Bitmap next(g.num_vertices());
+  const std::vector<VertexRange> chunks = csc_sub_chunks(ranges);
+  std::vector<eid_t> edge_counts(chunks.size(), 0);
+
+  parallel_for_dynamic(0, chunks.size(), [&](std::size_t c) {
+    const VertexRange r = chunks[c];
+    eid_t local_edges = 0;
+    for (vid_t d = r.begin; d < r.end; ++d) {
+      if (!op.cond(d)) continue;
+      const auto neigh = csc.neighbors(d);
+      const auto ws = csc.weights(d);
+      for (std::size_t j = 0; j < neigh.size(); ++j) {
+        ++local_edges;
+        const vid_t s = neigh[j];
+        if (!in.get(s)) continue;
+        if (op.update(s, d, ws[j])) next.set(d);
+        if (!op.cond(d)) break;  // destination saturated; skip remaining
+      }
+    }
+    edge_counts[c] = local_edges;
+  });
+
+  if (edges_examined != nullptr) {
+    eid_t total = 0;
+    for (eid_t c : edge_counts) total += c;
+    *edges_examined = total;
+  }
+
+  Frontier out = Frontier::from_bitmap(std::move(next));
+  out.recount(&g.csr());
+  return out;
+}
+
+}  // namespace grind::engine

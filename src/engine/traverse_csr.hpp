@@ -1,0 +1,72 @@
+// Sparse forward traversal over the whole-graph CSR (Algorithm 2, line 6).
+//
+// "When the frontier is sparse ... there is little point in partitioning the
+// graph" (§III-A1): the kernel iterates only the active sources from the
+// sparse list, visits their out-edges, and applies the operator's *atomic*
+// update — destinations are hit by arbitrary threads, so this is the one
+// kernel that inherently needs hardware atomics.
+//
+// The output frontier is produced directly in sparse form: each thread
+// collects the destinations its updates activated (update_atomic returning
+// true claims the destination exactly once, the Ligra contract), and the
+// per-thread buffers are concatenated.
+#pragma once
+
+#include <omp.h>
+
+#include <vector>
+
+#include "engine/operators.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+#include "sys/parallel.hpp"
+
+namespace grind::engine {
+
+template <EdgeOperator Op>
+Frontier traverse_csr_sparse(const graph::Graph& g, Frontier& f, Op& op,
+                             eid_t* edges_examined) {
+  f.to_sparse();
+  const auto& csr = g.csr();
+  const auto verts = f.vertices();
+  const int nt = num_threads();
+
+  std::vector<std::vector<vid_t>> buffers(static_cast<std::size_t>(nt));
+  std::vector<eid_t> edge_counts(static_cast<std::size_t>(nt), 0);
+
+#pragma omp parallel num_threads(nt)
+  {
+    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    auto& buf = buffers[t];
+    eid_t local_edges = 0;
+#pragma omp for schedule(dynamic, 16) nowait
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      const vid_t s = verts[i];
+      const auto neigh = csr.neighbors(s);
+      const auto ws = csr.weights(s);
+      local_edges += neigh.size();
+      for (std::size_t j = 0; j < neigh.size(); ++j) {
+        const vid_t d = neigh[j];
+        if (op.cond(d) && op.update_atomic(s, d, ws[j])) buf.push_back(d);
+      }
+    }
+    edge_counts[t] = local_edges;
+  }
+
+  if (edges_examined != nullptr) {
+    eid_t total = 0;
+    for (eid_t c : edge_counts) total += c;
+    *edges_examined = total;
+  }
+
+  // Concatenate per-thread buffers into one sparse list.
+  std::size_t total_active = 0;
+  for (const auto& b : buffers) total_active += b.size();
+  std::vector<vid_t> next;
+  next.reserve(total_active);
+  for (auto& b : buffers) next.insert(next.end(), b.begin(), b.end());
+
+  return Frontier::from_vertices(g.num_vertices(), std::move(next), &g.csr());
+}
+
+}  // namespace grind::engine

@@ -1,0 +1,94 @@
+// Dense forward traversal over the partitioned pruned CSR — the Fig 5/6
+// "CSR" configurations.
+//
+// Each partition indexes its in-edges grouped by source; a source with edges
+// into k partitions is visited k times, so traversal work grows with the
+// replication factor (§II-F) — the effect Fig 6 measures as the slowdown of
+// partitioned CSR at high partition counts.
+//
+//   * no-atomics ("CSR+na"): one task per partition; destination sets are
+//     disjoint by partitioning-by-destination.  Only admissible when every
+//     partition is single-threaded (P ≥ threads), as in Fig 6.
+//   * atomics ("CSR+a"): local sources are chunked across all partitions to
+//     create intra-partition parallelism; two chunks of the same partition
+//     may update one destination concurrently, requiring atomics (§IV-A:
+//     "They are unavoidable when using CSR due to partitioning by
+//     destination").
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/operators.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioned_csr.hpp"
+#include "sys/bitmap.hpp"
+#include "sys/parallel.hpp"
+
+namespace grind::engine {
+
+template <EdgeOperator Op>
+Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
+                                  bool use_atomics, eid_t* edges_examined) {
+  f.to_dense();
+  const auto& pc = g.partitioned_csr();
+  const Bitmap& in = f.bitmap();
+  Bitmap next(g.num_vertices());
+  const part_t np = pc.num_partitions();
+
+  if (edges_examined != nullptr) {
+    eid_t total = 0;
+    for (part_t p = 0; p < np; ++p) total += pc.part(p).num_edges();
+    *edges_examined = total;
+  }
+
+  if (!use_atomics) {
+    parallel_for_dynamic(0, np, [&](std::size_t pi) {
+      const auto& part = pc.part(static_cast<part_t>(pi));
+      const vid_t nloc = part.num_local_vertices();
+      for (vid_t i = 0; i < nloc; ++i) {
+        const vid_t s = part.vertex_ids[i];
+        if (!in.get(s)) continue;
+        for (eid_t j = part.offsets[i]; j < part.offsets[i + 1]; ++j) {
+          const vid_t d = part.targets[j];
+          if (op.cond(d) && op.update(s, d, part.weights[j])) next.set(d);
+        }
+      }
+    });
+  } else {
+    // Flatten (partition, local-vertex chunk) work items so partitions much
+    // larger than others still spread across threads.
+    constexpr vid_t kChunk = 1024;
+    struct WorkItem {
+      part_t part;
+      vid_t begin;
+      vid_t end;
+    };
+    std::vector<WorkItem> items;
+    for (part_t p = 0; p < np; ++p) {
+      const vid_t nloc = pc.part(p).num_local_vertices();
+      for (vid_t v = 0; v < nloc; v += kChunk)
+        items.push_back({p, v, std::min<vid_t>(nloc, v + kChunk)});
+    }
+    parallel_for_dynamic(0, items.size(), [&](std::size_t w) {
+      const WorkItem& it = items[w];
+      const auto& part = pc.part(it.part);
+      for (vid_t i = it.begin; i < it.end; ++i) {
+        const vid_t s = part.vertex_ids[i];
+        if (!in.get(s)) continue;
+        for (eid_t j = part.offsets[i]; j < part.offsets[i + 1]; ++j) {
+          const vid_t d = part.targets[j];
+          if (op.cond(d) && op.update_atomic(s, d, part.weights[j]))
+            next.set_atomic(d);
+        }
+      }
+    });
+  }
+
+  Frontier out = Frontier::from_bitmap(std::move(next));
+  out.recount(&g.csr());
+  return out;
+}
+
+}  // namespace grind::engine

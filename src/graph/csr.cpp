@@ -1,0 +1,65 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "sys/parallel.hpp"
+
+namespace grind::graph {
+
+Csr Csr::build(const EdgeList& el, Adjacency adj) {
+  Csr g;
+  g.adj_ = adj;
+  const vid_t n = el.num_vertices();
+  const eid_t m = el.num_edges();
+  const auto es = el.edges();
+
+  // 1. Count degrees.
+  std::vector<eid_t> counts(static_cast<std::size_t>(n) + 1, 0);
+  if (adj == Adjacency::kOut) {
+    for (const Edge& e : es) ++counts[e.src];
+  } else {
+    for (const Edge& e : es) ++counts[e.dst];
+  }
+
+  // 2. Offsets = exclusive prefix sum of degrees.
+  g.offsets_.resize(static_cast<std::size_t>(n) + 1);
+  exclusive_scan(counts.data(), g.offsets_.data(), counts.size());
+
+  // 3. Scatter edges; `cursor` tracks the next free slot per vertex.
+  g.neighbors_.resize(m);
+  g.weights_.resize(m);
+  std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : es) {
+    const vid_t key = adj == Adjacency::kOut ? e.src : e.dst;
+    const vid_t other = adj == Adjacency::kOut ? e.dst : e.src;
+    const eid_t slot = cursor[key]++;
+    g.neighbors_[slot] = other;
+    g.weights_[slot] = e.weight;
+  }
+
+  // 4. Sort each adjacency list ascending, carrying weights, to produce the
+  //    canonical layout of Fig 1 and deterministic traversal order.
+  parallel_for_dynamic(0, n, [&](std::size_t v) {
+    const eid_t lo = g.offsets_[v];
+    const eid_t hi = g.offsets_[v + 1];
+    const eid_t deg = hi - lo;
+    if (deg < 2) return;
+    // Sort index permutation by neighbor id, then apply to both arrays.
+    // Degrees are usually tiny; insertion-style std::sort on pairs is fine.
+    std::vector<std::pair<vid_t, weight_t>> tmp(deg);
+    for (eid_t i = 0; i < deg; ++i)
+      tmp[i] = {g.neighbors_[lo + i], g.weights_[lo + i]};
+    std::sort(tmp.begin(), tmp.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (eid_t i = 0; i < deg; ++i) {
+      g.neighbors_[lo + i] = tmp[i].first;
+      g.weights_[lo + i] = tmp[i].second;
+    }
+  });
+
+  return g;
+}
+
+}  // namespace grind::graph

@@ -1,0 +1,207 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sys/parallel.hpp"
+#include "sys/rng.hpp"
+
+namespace grind::graph {
+
+namespace {
+
+/// Fill edges[lo, hi) deterministically in parallel: each chunk derives its
+/// own RNG stream from (seed, chunk index), so results are independent of
+/// the number of threads.
+template <typename PerEdge>
+void generate_edges_parallel(std::vector<Edge>& edges, std::uint64_t seed,
+                             PerEdge&& per_edge) {
+  const std::size_t m = edges.size();
+  constexpr std::size_t kChunk = 1 << 14;
+  const std::size_t chunks = (m + kChunk - 1) / kChunk;
+  const Xoshiro256 root(seed);
+  parallel_for_dynamic(0, chunks, [&](std::size_t c) {
+    Xoshiro256 rng = root.split(c);
+    const std::size_t lo = c * kChunk;
+    const std::size_t hi = std::min(m, lo + kChunk);
+    for (std::size_t i = lo; i < hi; ++i) edges[i] = per_edge(rng);
+  });
+}
+
+}  // namespace
+
+EdgeList rmat(int scale, eid_t edge_factor, std::uint64_t seed,
+              const RmatParams& params) {
+  const vid_t n = vid_t{1} << scale;
+  const eid_t m = edge_factor * static_cast<eid_t>(n);
+  std::vector<Edge> edges(m);
+
+  const double a = params.a, b = params.b, c = params.c;
+  generate_edges_parallel(edges, seed, [&](Xoshiro256& rng) {
+    vid_t src = 0, dst = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    return Edge{src, dst, 1.0f + rng.next_float() * 9.0f};
+  });
+
+  EdgeList el(n, std::move(edges));
+  if (params.remove_self_loops) el.remove_self_loops();
+  if (params.deduplicate) el.deduplicate();
+  return el;
+}
+
+EdgeList powerlaw(vid_t n, double alpha, double avg_degree,
+                  std::uint64_t seed) {
+  // Chung–Lu: vertex i gets weight (i+1)^(-1/(alpha-1)); sampling both
+  // endpoints proportionally to weight yields a degree distribution with
+  // pdf exponent alpha.
+  const double gamma = 1.0 / (alpha - 1.0);
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (vid_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -gamma);
+    cdf[i] = total;
+  }
+  const eid_t m = static_cast<eid_t>(avg_degree * static_cast<double>(n));
+  std::vector<Edge> edges(m);
+
+  auto sample = [&](Xoshiro256& rng) -> vid_t {
+    const double r = rng.next_double() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return static_cast<vid_t>(it - cdf.begin());
+  };
+  generate_edges_parallel(edges, seed, [&](Xoshiro256& rng) {
+    return Edge{sample(rng), sample(rng), 1.0f + rng.next_float() * 9.0f};
+  });
+
+  EdgeList el(n, std::move(edges));
+  el.remove_self_loops();
+  return el;
+}
+
+EdgeList erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  std::vector<Edge> edges(m);
+  generate_edges_parallel(edges, seed, [&](Xoshiro256& rng) {
+    return Edge{static_cast<vid_t>(rng.next_below(n)),
+                static_cast<vid_t>(rng.next_below(n)),
+                1.0f + rng.next_float() * 9.0f};
+  });
+  EdgeList el(n, std::move(edges));
+  el.remove_self_loops();
+  return el;
+}
+
+EdgeList road_lattice(vid_t rows, vid_t cols, double shortcut_fraction,
+                      std::uint64_t seed) {
+  const vid_t n = rows * cols;
+  EdgeList el;
+  el.set_num_vertices(n);
+  const eid_t lattice_edges =
+      2ULL * (static_cast<eid_t>(rows) * (cols - 1) +
+              static_cast<eid_t>(rows - 1) * cols);
+  el.reserve(lattice_edges +
+             static_cast<eid_t>(shortcut_fraction *
+                                static_cast<double>(lattice_edges)));
+
+  Xoshiro256 rng(seed);
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  auto w = [&rng]() { return 1.0f + rng.next_float() * 9.0f; };
+
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        const weight_t wt = w();
+        el.add(id(r, c), id(r, c + 1), wt);
+        el.add(id(r, c + 1), id(r, c), wt);
+      }
+      if (r + 1 < rows) {
+        const weight_t wt = w();
+        el.add(id(r, c), id(r + 1, c), wt);
+        el.add(id(r + 1, c), id(r, c), wt);
+      }
+    }
+  }
+
+  // Shortcuts: connect vertices a few grid hops apart, both directions —
+  // ramps/bridges keep the graph low-degree but reduce pure-grid regularity.
+  const auto shortcuts = static_cast<eid_t>(
+      shortcut_fraction * static_cast<double>(lattice_edges) / 2.0);
+  for (eid_t i = 0; i < shortcuts; ++i) {
+    const vid_t r = static_cast<vid_t>(rng.next_below(rows));
+    const vid_t c = static_cast<vid_t>(rng.next_below(cols));
+    const auto dr = static_cast<long>(rng.next_below(9)) - 4;
+    const auto dc = static_cast<long>(rng.next_below(9)) - 4;
+    const long r2 = static_cast<long>(r) + dr;
+    const long c2 = static_cast<long>(c) + dc;
+    if (r2 < 0 || c2 < 0 || r2 >= static_cast<long>(rows) ||
+        c2 >= static_cast<long>(cols) || (dr == 0 && dc == 0))
+      continue;
+    const weight_t wt = w();
+    el.add(id(r, c), id(static_cast<vid_t>(r2), static_cast<vid_t>(c2)), wt);
+    el.add(id(static_cast<vid_t>(r2), static_cast<vid_t>(c2)), id(r, c), wt);
+  }
+  return el;
+}
+
+EdgeList path(vid_t n) {
+  EdgeList el;
+  el.set_num_vertices(n);
+  for (vid_t v = 0; v + 1 < n; ++v) el.add(v, v + 1);
+  return el;
+}
+
+EdgeList cycle(vid_t n) {
+  EdgeList el = path(n);
+  if (n > 1) el.add(n - 1, 0);
+  return el;
+}
+
+EdgeList star(vid_t n) {
+  EdgeList el;
+  el.set_num_vertices(n);
+  for (vid_t v = 1; v < n; ++v) el.add(0, v);
+  return el;
+}
+
+EdgeList complete(vid_t n) {
+  EdgeList el;
+  el.set_num_vertices(n);
+  for (vid_t u = 0; u < n; ++u)
+    for (vid_t v = 0; v < n; ++v)
+      if (u != v) el.add(u, v);
+  return el;
+}
+
+EdgeList paper_example() {
+  // Fig 1: 6 vertices, 14 edges.
+  //   CSR offsets      [0, 5, 5, 6, 8, 9, 14]
+  //   CSR destinations [1 2 3 4 5 | 4 | 4 5 | 5 | 0 1 2 3 4]
+  //   CSC offsets      [0, 1, 3, 5, 7, 11, 14]
+  //   CSC sources      [5 | 0 5 | 0 5 | 0 5 | 0 2 3 5 | 0 3 4]
+  EdgeList el;
+  el.set_num_vertices(6);
+  for (vid_t d : {1, 2, 3, 4, 5}) el.add(0, d);
+  el.add(2, 4);
+  el.add(3, 4);
+  el.add(3, 5);
+  el.add(4, 5);
+  for (vid_t d : {0, 1, 2, 3, 4}) el.add(5, d);
+  return el;
+}
+
+}  // namespace grind::graph

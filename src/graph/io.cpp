@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace grind::graph {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4747524e44475248ULL;  // "GGRNDGRH"
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+}  // namespace
+
+EdgeList load_snap(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open", path);
+  EdgeList el;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    vid_t src = 0, dst = 0;
+    weight_t w = 1.0f;
+    if (!(ss >> src >> dst)) {
+      fail("parse error at line " + std::to_string(lineno), path);
+    }
+    ss >> w;  // optional third column
+    el.add(src, dst, w);
+  }
+  return el;
+}
+
+void save_snap(const EdgeList& el, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open for write", path);
+  bool weighted = false;
+  for (const Edge& e : el.edges())
+    if (e.weight != 1.0f) { weighted = true; break; }
+  out << "# vertices " << el.num_vertices() << " edges " << el.num_edges()
+      << '\n';
+  for (const Edge& e : el.edges()) {
+    out << e.src << '\t' << e.dst;
+    if (weighted) out << '\t' << e.weight;
+    out << '\n';
+  }
+  if (!out) fail("write error", path);
+}
+
+void save_binary(const EdgeList& el, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open for write", path);
+  const std::uint64_t magic = kMagic;
+  const std::uint32_t version = kVersion;
+  const std::uint64_t nv = el.num_vertices();
+  const std::uint64_t ne = el.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&nv), sizeof nv);
+  out.write(reinterpret_cast<const char*>(&ne), sizeof ne);
+  const auto es = el.edges();
+  out.write(reinterpret_cast<const char*>(es.data()),
+            static_cast<std::streamsize>(es.size() * sizeof(Edge)));
+  if (!out) fail("write error", path);
+}
+
+EdgeList load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t nv = 0, ne = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&nv), sizeof nv);
+  in.read(reinterpret_cast<char*>(&ne), sizeof ne);
+  if (!in || magic != kMagic) fail("bad magic", path);
+  if (version != kVersion) fail("unsupported version", path);
+  std::vector<Edge> edges(ne);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(ne * sizeof(Edge)));
+  if (!in) fail("truncated file", path);
+  return EdgeList(static_cast<vid_t>(nv), std::move(edges));
+}
+
+}  // namespace grind::graph

@@ -1,0 +1,59 @@
+#include "partition/hilbert.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace grind::partition {
+
+namespace {
+
+/// Rotate/reflect (x, y) within a sub-square of side `side`, the shared step
+/// of both conversion directions (Wikipedia's `rot`).
+void rotate(std::uint32_t side, std::uint32_t& x, std::uint32_t& y,
+            std::uint32_t rx, std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = side - 1 - x;
+      y = side - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_xy_to_d(std::uint32_t order, std::uint32_t x,
+                              std::uint32_t y) {
+  std::uint64_t d = 0;
+  for (std::uint32_t s = order; s-- > 0;) {
+    const std::uint32_t rx = (x >> s) & 1u;
+    const std::uint32_t ry = (y >> s) & 1u;
+    d += static_cast<std::uint64_t>((3 * rx) ^ ry) << (2 * s);
+    // Strip the consumed high bit, then reorient the remaining sub-square.
+    const std::uint32_t mask = (s == 0) ? 0u : ((1u << s) - 1u);
+    x &= mask;
+    y &= mask;
+    rotate(1u << s, x, y, rx, ry);
+  }
+  return d;
+}
+
+void hilbert_d_to_xy(std::uint32_t order, std::uint64_t d, std::uint32_t& x,
+                     std::uint32_t& y) {
+  x = y = 0;
+  for (std::uint32_t s = 0; s < order; ++s) {
+    const auto rx = static_cast<std::uint32_t>((d >> (2 * s + 1)) & 1u);
+    const auto ry =
+        static_cast<std::uint32_t>((d >> (2 * s)) & 1u) ^ rx;
+    rotate(1u << s, x, y, rx, ry);
+    x += rx << s;
+    y += ry << s;
+  }
+}
+
+std::uint32_t hilbert_order_for(vid_t n) {
+  if (n <= 1) return 1;
+  return static_cast<std::uint32_t>(std::bit_width(n - 1));
+}
+
+}  // namespace grind::partition

@@ -1,0 +1,35 @@
+// Hilbert space-filling curve over the adjacency matrix.
+//
+// §IV-C evaluates storing COO edges "sorted using a space-filling curve such
+// as Hilbert order to improve memory locality" — an edge (src, dst) is a
+// point in the |V|×|V| adjacency matrix; visiting edges along the Hilbert
+// curve keeps both endpoints' working sets small simultaneously.
+//
+// Implementation: the classic bit-twiddling xy↔d conversion for a curve of
+// `order` levels covering a 2^order × 2^order grid.
+#pragma once
+
+#include <cstdint>
+
+#include "sys/types.hpp"
+
+namespace grind::partition {
+
+/// Hilbert index of grid point (x, y) on a curve of 2^order × 2^order cells.
+/// order ≤ 32; result fits in 2·order bits.
+std::uint64_t hilbert_xy_to_d(std::uint32_t order, std::uint32_t x,
+                              std::uint32_t y);
+
+/// Inverse of hilbert_xy_to_d: decode index d into (x, y).
+void hilbert_d_to_xy(std::uint32_t order, std::uint64_t d, std::uint32_t& x,
+                     std::uint32_t& y);
+
+/// Smallest curve order whose grid covers `n` vertices per side.
+std::uint32_t hilbert_order_for(vid_t n);
+
+/// Hilbert key of an edge, treating (src, dst) as matrix coordinates.
+inline std::uint64_t hilbert_edge_key(std::uint32_t order, const Edge& e) {
+  return hilbert_xy_to_d(order, e.src, e.dst);
+}
+
+}  // namespace grind::partition

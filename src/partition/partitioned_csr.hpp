@@ -1,0 +1,69 @@
+// Partitioned, zero-degree-pruned CSR — the layout whose storage and work
+// grow with vertex replication (§II-E, §II-F), reproduced here both to run
+// the Fig 5 "CSR" configuration and to measure the growth curves of Figs 3–4.
+//
+// For partitioning-by-destination, partition p's CSR indexes the sub-graph
+// of edges whose destination lives in p, grouped by *source*.  A source
+// vertex with edges into k partitions is replicated k times ("CSR pruned"
+// keeps only sources with ≥1 edge in the partition and stores their vertex
+// IDs in a sidecar array, §II-E: "We store the vertex ID along with the
+// vertex data in order to save space for zero-degree vertices").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "partition/partitioner.hpp"
+#include "sys/types.hpp"
+
+namespace grind::partition {
+
+/// One partition's pruned CSR.
+struct PrunedCsrPart {
+  /// Sources present in this partition (sorted ascending) — the "vertex ID
+  /// sidecar".  Its length divided by |V| summed over partitions is the
+  /// replication factor.
+  std::vector<vid_t> vertex_ids;
+  /// offsets[i]..offsets[i+1] index the edges of vertex_ids[i].
+  std::vector<eid_t> offsets;
+  /// Edge targets (destinations for by-destination partitioning).
+  std::vector<vid_t> targets;
+  /// Weights aligned with targets.
+  std::vector<weight_t> weights;
+
+  [[nodiscard]] vid_t num_local_vertices() const {
+    return static_cast<vid_t>(vertex_ids.size());
+  }
+  [[nodiscard]] eid_t num_edges() const { return targets.size(); }
+};
+
+/// The full partitioned pruned CSR.
+class PartitionedCsr {
+ public:
+  PartitionedCsr() = default;
+
+  /// Build from an edge list and a partitioning (by destination: group
+  /// partition p's in-edges by source; by source: group p's out-edges by
+  /// destination — the symmetric construction).
+  static PartitionedCsr build(const graph::EdgeList& el,
+                              const Partitioning& parts);
+
+  [[nodiscard]] part_t num_partitions() const {
+    return static_cast<part_t>(parts_.size());
+  }
+  [[nodiscard]] const PrunedCsrPart& part(part_t p) const { return parts_[p]; }
+
+  /// Σ over partitions of replicated-vertex count; divide by |V| for the
+  /// replication factor r(p) of Fig 3.
+  [[nodiscard]] std::size_t total_vertex_replicas() const;
+
+  /// Measured bytes of the pruned representation:
+  /// Σ_p ( |ids_p|·(bv + be) ) + |E|·bv — the "CSR pruned" curve of Fig 4.
+  [[nodiscard]] std::size_t storage_bytes_pruned() const;
+
+ private:
+  std::vector<PrunedCsrPart> parts_;
+};
+
+}  // namespace grind::partition

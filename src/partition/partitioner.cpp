@@ -1,0 +1,93 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grind::partition {
+
+part_t Partitioning::partition_of(vid_t v) const {
+  // Boundaries are sorted; find the last range whose begin <= v.
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), v,
+      [](vid_t lhs, const VertexRange& r) { return lhs < r.begin; });
+  assert(it != ranges_.begin());
+  return static_cast<part_t>((it - ranges_.begin()) - 1);
+}
+
+double Partitioning::edge_imbalance() const {
+  eid_t total = 0, peak = 0;
+  part_t nonempty = 0;
+  for (part_t p = 0; p < num_partitions(); ++p) {
+    total += edge_counts_[p];
+    peak = std::max(peak, edge_counts_[p]);
+    if (edge_counts_[p] > 0) ++nonempty;
+  }
+  if (nonempty == 0 || total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(nonempty);
+  return static_cast<double>(peak) / mean;
+}
+
+namespace {
+
+vid_t align_up(vid_t v, vid_t align, vid_t n) {
+  if (align <= 1) return std::min(v, n);
+  const vid_t rounded = ((v + align - 1) / align) * align;
+  return std::min(rounded, n);
+}
+
+}  // namespace
+
+Partitioning make_partitioning_from_degrees(const std::vector<eid_t>& degrees,
+                                            part_t num_partitions,
+                                            PartitionOptions opts) {
+  const vid_t n = static_cast<vid_t>(degrees.size());
+  if (num_partitions == 0) num_partitions = 1;
+
+  // Cumulative degree: cum[v] = edges homed at vertices < v.
+  std::vector<eid_t> cum(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) cum[v + 1] = cum[v] + degrees[v];
+  const eid_t total_edges = cum[n];
+
+  std::vector<VertexRange> ranges(num_partitions);
+  std::vector<eid_t> counts(num_partitions, 0);
+
+  vid_t prev = 0;
+  for (part_t p = 0; p < num_partitions; ++p) {
+    vid_t next;
+    if (p + 1 == num_partitions) {
+      next = n;  // last partition takes the remainder
+    } else if (opts.balance == BalanceMode::kVertices) {
+      next = align_up(static_cast<vid_t>(
+                          (static_cast<std::uint64_t>(n) * (p + 1)) /
+                          num_partitions),
+                      opts.boundary_align, n);
+    } else {
+      // Edge balance: smallest vertex whose cumulative degree reaches the
+      // p+1'th equal share — the greedy fill of Algorithm 1.
+      const eid_t target =
+          (total_edges * static_cast<eid_t>(p + 1)) / num_partitions;
+      const auto it = std::lower_bound(cum.begin(), cum.end(), target);
+      next = align_up(static_cast<vid_t>(it - cum.begin()),
+                      opts.boundary_align, n);
+    }
+    next = std::max(next, prev);  // keep boundaries monotonic
+    ranges[p] = VertexRange{prev, next};
+    counts[p] = cum[next] - cum[prev];
+    prev = next;
+  }
+  // Alignment may leave the nominal last boundary short of n; the final
+  // range above already absorbs the remainder because it is forced to n.
+
+  return Partitioning(std::move(ranges), std::move(counts), opts);
+}
+
+Partitioning make_partitioning(const graph::EdgeList& el, part_t num_partitions,
+                               PartitionOptions opts) {
+  const std::vector<eid_t> degrees = opts.by == PartitionBy::kDestination
+                                         ? el.in_degrees()
+                                         : el.out_degrees();
+  return make_partitioning_from_degrees(degrees, num_partitions, opts);
+}
+
+}  // namespace grind::partition

@@ -1,0 +1,47 @@
+#include "partition/replication.hpp"
+
+#include <algorithm>
+
+#include "sys/parallel.hpp"
+
+namespace grind::partition {
+
+std::vector<part_t> replica_counts(const graph::EdgeList& el,
+                                  const Partitioning& parts) {
+  const vid_t n = el.num_vertices();
+  const bool by_dst = parts.options().by == PartitionBy::kDestination;
+
+  // For every (grouping vertex, partition) pair, count it once.  Sort the
+  // pairs and count distinct — memory-proportional to |E| but exact.
+  std::vector<std::pair<vid_t, part_t>> pairs;
+  pairs.reserve(el.num_edges());
+  for (const Edge& e : el.edges()) {
+    const vid_t group = by_dst ? e.src : e.dst;
+    const vid_t homed = by_dst ? e.dst : e.src;
+    pairs.emplace_back(group, parts.partition_of(homed));
+  }
+  parallel_sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  std::vector<part_t> counts(n, 0);
+  for (const auto& [v, p] : pairs) ++counts[v];
+  return counts;
+}
+
+double replication_factor(const graph::EdgeList& el,
+                          const Partitioning& parts) {
+  if (el.num_vertices() == 0) return 0.0;
+  const auto counts = replica_counts(el, parts);
+  std::uint64_t total = 0;
+  for (part_t c : counts) total += c;
+  return static_cast<double>(total) /
+         static_cast<double>(el.num_vertices());
+}
+
+double worst_case_replication(const graph::EdgeList& el) {
+  if (el.num_vertices() == 0) return 0.0;
+  return static_cast<double>(el.num_edges()) /
+         static_cast<double>(el.num_vertices());
+}
+
+}  // namespace grind::partition

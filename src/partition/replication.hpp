@@ -1,0 +1,29 @@
+// Vertex replication accounting (§II-D, Fig 3).
+//
+// When the edge set is partitioned, a vertex "appears" in every partition
+// holding one of its incident edges.  For partitioning-by-destination in a
+// CSR (source-grouped) layout, vertex v is replicated once per partition in
+// which it has at least one out-edge; the Fig-1 example's 7/6 average and
+// the worst case r = |E|/|V| both follow from this counting.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "partition/partitioner.hpp"
+
+namespace grind::partition {
+
+/// Replication factor r(p): average over all |V| vertices of the number of
+/// partitions where the vertex appears as an edge *source* (the partitioned
+/// CSR sidecar count).  Vertices appearing nowhere contribute 0.
+double replication_factor(const graph::EdgeList& el, const Partitioning& parts);
+
+/// Per-vertex replica counts (length |V|), for distribution studies.
+std::vector<part_t> replica_counts(const graph::EdgeList& el,
+                                  const Partitioning& parts);
+
+/// Worst-case replication factor |E| / |V| (§II-D).
+double worst_case_replication(const graph::EdgeList& el);
+
+}  // namespace grind::partition

@@ -1,0 +1,37 @@
+#include "partition/storage_model.hpp"
+
+#include <cmath>
+
+namespace grind::partition {
+
+std::size_t storage_csr_pruned(const StorageInputs& in, double replication) {
+  const double vertex_part =
+      replication * static_cast<double>(in.num_vertices) *
+      static_cast<double>(in.bytes_edge_index + in.bytes_vertex_id);
+  return static_cast<std::size_t>(std::llround(vertex_part)) +
+         in.num_edges * in.bytes_vertex_id;
+}
+
+std::size_t storage_csr_unpruned(const StorageInputs& in,
+                                 std::size_t partitions) {
+  return partitions * in.num_vertices * in.bytes_edge_index +
+         in.num_edges * in.bytes_vertex_id;
+}
+
+std::size_t storage_csc_whole(const StorageInputs& in) {
+  return in.num_vertices * in.bytes_edge_index +
+         in.num_edges * in.bytes_vertex_id;
+}
+
+std::size_t storage_coo(const StorageInputs& in) {
+  return 2 * in.num_edges * in.bytes_vertex_id;
+}
+
+std::size_t storage_graphgrind_v2(const StorageInputs& in) {
+  // Whole CSR + whole CSC + partitioned COO; COO and CSC sizes are
+  // independent of the partition count (§III-B).
+  return storage_csc_whole(in) /* CSR, same formula */ +
+         storage_csc_whole(in) + storage_coo(in);
+}
+
+}  // namespace grind::partition

@@ -1,0 +1,50 @@
+// Closed-form graph-storage-size model (§II-E, Fig 4).
+//
+// With r(p) the replication factor of a p-way partitioning, be the bytes per
+// edge-list index and bv the bytes per vertex ID:
+//
+//   CSR, pruned        r(p)·|V|·(be + bv) + |E|·bv     (grows like r(p))
+//   CSR, unpruned      p·|V|·be + |E|·bv               (grows linearly in p;
+//                                                       Polymer's choice)
+//   CSC, whole graph   |V|·be + |E|·bv                 (flat — partitioning
+//                                                       by destination keeps
+//                                                       CSC unpartitioned)
+//   COO                2·|E|·bv                        (flat)
+//
+// bench_fig4_storage evaluates these curves and cross-checks the pruned-CSR
+// formula against bytes actually allocated by PartitionedCsr.
+#pragma once
+
+#include <cstddef>
+
+#include "sys/types.hpp"
+
+namespace grind::partition {
+
+/// Inputs common to all storage formulas.
+struct StorageInputs {
+  std::size_t num_vertices = 0;  ///< |V|
+  std::size_t num_edges = 0;     ///< |E|
+  std::size_t bytes_vertex_id = kBytesPerVertexId;   ///< bv
+  std::size_t bytes_edge_index = kBytesPerEdgeIndex; ///< be
+};
+
+/// r(p)·|V|·(be+bv) + |E|·bv.  `replication` is r(p).
+std::size_t storage_csr_pruned(const StorageInputs& in, double replication);
+
+/// p·|V|·be + |E|·bv.
+std::size_t storage_csr_unpruned(const StorageInputs& in,
+                                 std::size_t partitions);
+
+/// |V|·be + |E|·bv.
+std::size_t storage_csc_whole(const StorageInputs& in);
+
+/// 2·|E|·bv.
+std::size_t storage_coo(const StorageInputs& in);
+
+/// Total footprint of the GraphGrind-v2 composite (§III-B): one whole CSR,
+/// one whole CSC, and one partitioned COO — "we store 3 copies" whose sum is
+/// "less than double the memory of Ligra" (Ligra stores CSR+CSC).
+std::size_t storage_graphgrind_v2(const StorageInputs& in);
+
+}  // namespace grind::partition

@@ -1,0 +1,21 @@
+// Environment-variable configuration for the benchmark harness.
+//
+//   GG_SCALE   — multiplies the default synthetic graph sizes (double, 1.0)
+//   GG_ROUNDS  — timed repetitions per measurement (int, default 3)
+//   GG_MAX_PARTITIONS — cap on partition sweeps (int, default 480)
+#pragma once
+
+#include <string>
+
+namespace grind {
+
+/// Read an integer env var, returning `fallback` when unset or malformed.
+int env_int(const char* name, int fallback);
+
+/// Read a double env var, returning `fallback` when unset or malformed.
+double env_double(const char* name, double fallback);
+
+/// Read a string env var, returning `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace grind

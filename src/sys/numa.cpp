@@ -1,0 +1,41 @@
+#include "sys/numa.hpp"
+
+#include <algorithm>
+
+namespace grind {
+
+NumaModel::NumaModel(int domains) : domains_(domains < 1 ? 1 : domains) {}
+
+int NumaModel::domain_of_partition(part_t p, part_t total) const {
+  if (total == 0) return 0;
+  const part_t d = static_cast<part_t>(domains_);
+  // Block distribution: ceil-divide partitions into contiguous runs.
+  const part_t per = (total + d - 1) / d;
+  return static_cast<int>(std::min<part_t>(p / per, d - 1));
+}
+
+int NumaModel::domain_of_thread(int thread, int total_threads) const {
+  if (total_threads <= 0) return 0;
+  // Uniform spread: threads t, t+D, t+2D... share a domain.
+  return thread % domains_;
+}
+
+part_t NumaModel::admissible_partitions(part_t partitions) const {
+  const part_t d = static_cast<part_t>(domains_);
+  if (partitions == 0) return d;
+  return ((partitions + d - 1) / d) * d;
+}
+
+std::vector<part_t> NumaModel::visit_order(int thread, int total_threads,
+                                          part_t total_partitions) const {
+  std::vector<part_t> order;
+  order.reserve(total_partitions);
+  const int home = domain_of_thread(thread, total_threads);
+  for (part_t p = 0; p < total_partitions; ++p)
+    if (domain_of_partition(p, total_partitions) == home) order.push_back(p);
+  for (part_t p = 0; p < total_partitions; ++p)
+    if (domain_of_partition(p, total_partitions) != home) order.push_back(p);
+  return order;
+}
+
+}  // namespace grind

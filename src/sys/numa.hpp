@@ -1,0 +1,57 @@
+// Logical NUMA-domain model.
+//
+// The paper runs on a 4-socket machine and (a) allocates each graph partition
+// on one NUMA domain, (b) processes a partition only with threads attached to
+// its domain, and (c) spreads partitions round-robin so every domain holds
+// the same number (§III-D: "we consider only multiples of 4").
+//
+// Real NUMA placement APIs (libnuma, mbind) are unavailable / meaningless in
+// this reproduction environment, so this module models the *policy* layer:
+// it maps partitions to D logical domains, maps threads to domains, and lets
+// the traversal kernels iterate partitions in a domain-affine order.  Every
+// decision the paper's scheduler makes is made here identically; only the
+// physical page placement is absent (see DESIGN.md §1, substitution table).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sys/types.hpp"
+
+namespace grind {
+
+/// Policy describing how partitions map onto logical NUMA domains.
+class NumaModel {
+ public:
+  /// `domains`: number of logical NUMA domains (paper: 4).
+  explicit NumaModel(int domains = kDefaultDomains);
+
+  [[nodiscard]] int domains() const { return domains_; }
+
+  /// Domain that owns partition p of P total partitions.  Partitions are
+  /// block-distributed: with P a multiple of D, each domain owns P/D
+  /// consecutive partitions, matching the paper's allocation.
+  [[nodiscard]] int domain_of_partition(part_t p, part_t total) const;
+
+  /// Domain a given worker thread is attached to, with T total threads.
+  /// Threads are spread uniformly across domains (§IV-F: "Additional threads
+  /// are spread uniformly across NUMA nodes").
+  [[nodiscard]] int domain_of_thread(int thread, int total_threads) const;
+
+  /// Round `partitions` up to the nearest multiple of the domain count, the
+  /// paper's rule for choosing admissible partition counts.
+  [[nodiscard]] part_t admissible_partitions(part_t partitions) const;
+
+  /// Order in which a thread should visit partitions: first the partitions
+  /// of its own domain, then (for load-balance stealing) the rest.  Returns
+  /// a permutation of [0, total).
+  [[nodiscard]] std::vector<part_t> visit_order(int thread, int total_threads,
+                                               part_t total_partitions) const;
+
+  static constexpr int kDefaultDomains = 4;
+
+ private:
+  int domains_;
+};
+
+}  // namespace grind

@@ -1,0 +1,23 @@
+#include "sys/parallel.hpp"
+
+namespace grind {
+
+namespace {
+// Cached so num_threads() is cheap inside hot loops.  OpenMP's
+// omp_get_max_threads already caches, but keeping our own copy lets the
+// ThreadCountGuard semantics stay exact even under nested regions.
+int g_threads = 0;
+}  // namespace
+
+int num_threads() {
+  if (g_threads == 0) g_threads = omp_get_max_threads();
+  return g_threads;
+}
+
+void set_num_threads(int n) {
+  if (n < 1) n = 1;
+  g_threads = n;
+  omp_set_num_threads(n);
+}
+
+}  // namespace grind

@@ -1,0 +1,216 @@
+// OpenMP-based parallel primitives: parallel_for over index ranges, tree
+// reductions, inclusive/exclusive prefix sums and a parallel merge-style
+// sort.  This is the only module that touches OpenMP pragmas directly (apart
+// from the traversal kernels), so the rest of the library stays portable.
+//
+// The paper's framework is built on Cilk with NUMA-aware loop scheduling;
+// OpenMP dynamic scheduling over partitions provides the same work
+// distribution semantics (see DESIGN.md §1).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grind {
+
+/// Number of worker threads the runtime will use for parallel regions.
+int num_threads();
+
+/// Set the number of worker threads (wraps omp_set_num_threads).
+void set_num_threads(int n);
+
+/// RAII guard that temporarily changes the thread count, restoring the
+/// previous value on destruction (used by the scalability benches).
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
+    set_num_threads(n);
+  }
+  ~ThreadCountGuard() { set_num_threads(saved_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Minimum trip count below which parallel_for runs serially; avoids paying
+/// the fork-join overhead on tiny loops (frequent with sparse frontiers).
+inline constexpr std::size_t kSerialCutoff = 2048;
+
+/// Parallel for over [begin, end): f(i) is invoked exactly once per index.
+/// Static scheduling: best for uniform per-iteration work (vertex loops).
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& f) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n < kSerialCutoff || num_threads() == 1) {
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = begin; i < end; ++i) f(i);
+}
+
+/// Parallel for with dynamic scheduling; best for skewed per-iteration work
+/// (per-partition or per-vertex-degree loops).
+template <typename F>
+void parallel_for_dynamic(std::size_t begin, std::size_t end, F&& f,
+                          std::size_t chunk = 1) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n <= 1 || num_threads() == 1) {
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (std::size_t i = begin; i < end; ++i) f(i);
+}
+
+/// Parallel sum-reduction of f(i) over [begin, end).
+template <typename T, typename F>
+T parallel_reduce_sum(std::size_t begin, std::size_t end, F&& f) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  T total{};
+  if (n < kSerialCutoff || num_threads() == 1) {
+    for (std::size_t i = begin; i < end; ++i) total += f(i);
+    return total;
+  }
+#pragma omp parallel
+  {
+    T local{};
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = begin; i < end; ++i) local += f(i);
+#pragma omp critical(grind_reduce_sum)
+    total += local;
+  }
+  return total;
+}
+
+/// Parallel max-reduction of f(i) over [begin, end); returns `identity` for
+/// an empty range.
+template <typename T, typename F>
+T parallel_reduce_max(std::size_t begin, std::size_t end, T identity, F&& f) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  T best = identity;
+  if (n < kSerialCutoff || num_threads() == 1) {
+    for (std::size_t i = begin; i < end; ++i) best = std::max(best, f(i));
+    return best;
+  }
+#pragma omp parallel
+  {
+    T local = identity;
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = begin; i < end; ++i) local = std::max(local, f(i));
+#pragma omp critical(grind_reduce_max)
+    best = std::max(best, local);
+  }
+  return best;
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i).  `out` may alias `in`.
+/// Returns the grand total (== out[n] if out has n+1 slots; here out has the
+/// same length as in, so the total is returned separately).
+///
+/// Used pervasively: CSR construction (degree counting → row offsets),
+/// sparse-frontier compaction, partition offset computation.
+template <typename T>
+T exclusive_scan(const T* in, T* out, std::size_t n) {
+  if (n == 0) return T{};
+  const int nt = num_threads();
+  if (n < kSerialCutoff || nt == 1) {
+    T run{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = in[i];
+      out[i] = run;
+      run += v;
+    }
+    return run;
+  }
+  std::vector<T> block_sum(static_cast<std::size_t>(nt) + 1, T{});
+#pragma omp parallel num_threads(nt)
+  {
+    const int t = omp_get_thread_num();
+    const std::size_t lo = n * static_cast<std::size_t>(t) /
+                           static_cast<std::size_t>(nt);
+    const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                           static_cast<std::size_t>(nt);
+    T local{};
+    for (std::size_t i = lo; i < hi; ++i) local += in[i];
+    block_sum[static_cast<std::size_t>(t) + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int b = 1; b <= nt; ++b) block_sum[static_cast<std::size_t>(b)] +=
+          block_sum[static_cast<std::size_t>(b) - 1];
+    }
+    T run = block_sum[static_cast<std::size_t>(t)];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = in[i];
+      out[i] = run;
+      run += v;
+    }
+  }
+  return block_sum.back();
+}
+
+/// Convenience overload for vectors; resizes `out` to in.size().
+template <typename T>
+T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  return exclusive_scan(in.data(), out.data(), in.size());
+}
+
+template <typename It, typename Cmp>
+void detail_parallel_sort(It first, It last, Cmp cmp, int depth);
+
+/// Parallel sort (stable not guaranteed).  Recursive merge parallelism via
+/// OpenMP tasks; falls back to std::sort for small inputs.
+template <typename It, typename Cmp>
+void parallel_sort(It first, It last, Cmp cmp) {
+  const auto n = static_cast<std::size_t>(last - first);
+  if (n < 1u << 14 || num_threads() == 1) {
+    std::sort(first, last, cmp);
+    return;
+  }
+#pragma omp parallel
+#pragma omp single nowait
+  detail_parallel_sort(first, last, cmp, /*depth=*/0);
+}
+
+template <typename It>
+void parallel_sort(It first, It last) {
+  parallel_sort(first, last, std::less<>{});
+}
+
+/// Implementation helper for parallel_sort; splits until depth exhausts the
+/// thread pool, then sorts serially and merges in-place.
+template <typename It, typename Cmp>
+void detail_parallel_sort(It first, It last, Cmp cmp, int depth) {
+  const auto n = static_cast<std::size_t>(last - first);
+  if (n < 1u << 14 || depth > 6) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  It mid = first + static_cast<std::ptrdiff_t>(n / 2);
+#pragma omp task untied shared(cmp)
+  detail_parallel_sort(first, mid, cmp, depth + 1);
+  detail_parallel_sort(mid, last, cmp, depth + 1);
+#pragma omp taskwait
+  std::inplace_merge(first, mid, last, cmp);
+}
+
+/// Parallel fill.
+template <typename T>
+void parallel_fill(T* data, std::size_t n, const T& value) {
+  parallel_for(0, n, [&](std::size_t i) { data[i] = value; });
+}
+
+template <typename T>
+void parallel_fill(std::vector<T>& v, const T& value) {
+  parallel_fill(v.data(), v.size(), value);
+}
+
+}  // namespace grind

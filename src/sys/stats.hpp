@@ -1,0 +1,75 @@
+// Summary statistics over repeated benchmark measurements.  The paper
+// reports averages over 20 executions (§IV); the harness uses this to do the
+// same with a configurable repeat count.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace grind {
+
+/// Accumulates samples and exposes mean / min / max / standard deviation.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (values_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return values_.empty() ? 0.0
+                           : *std::min_element(values_.begin(), values_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    return values_.empty() ? 0.0
+                           : *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const {
+    if (values_.size() < 2) return 0.0;
+    const double m = mean();
+    double ss = 0.0;
+    for (double v : values_) ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Time `f()` `rounds` times (after `warmup` untimed runs) and return the
+/// samples.  F must be callable with no arguments.
+template <typename F>
+Samples time_rounds(F&& f, int rounds, int warmup = 1);
+
+}  // namespace grind
+
+#include "sys/timer.hpp"
+
+namespace grind {
+
+template <typename F>
+Samples time_rounds(F&& f, int rounds, int warmup) {
+  for (int i = 0; i < warmup; ++i) f();
+  Samples s;
+  for (int i = 0; i < rounds; ++i) {
+    Timer t;
+    f();
+    s.add(t.seconds());
+  }
+  return s;
+}
+
+}  // namespace grind

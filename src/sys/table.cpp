@@ -1,0 +1,81 @@
+#include "sys/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace grind {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Compute column widths across header and rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+
+std::string Table::pct(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return ss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace grind

@@ -1,0 +1,47 @@
+// Plain-text table / CSV emitter used by the benchmark harness to print the
+// rows and series that the paper's tables and figures report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace grind {
+
+/// Column-aligned text table with an optional title, printable to any
+/// ostream or convertible to CSV.  Cells are strings; numeric helpers format
+/// with fixed precision so benchmark output stays diff-able.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row.
+  Table& header(std::vector<std::string> cols);
+
+  /// Append a data row.  Rows shorter than the header are padded.
+  Table& row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header first if present).
+  void print_csv(std::ostream& os) const;
+
+  /// Format helpers -------------------------------------------------------
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace grind

@@ -1,0 +1,55 @@
+// Wall-clock timing used by the benchmark harness and the engine's
+// per-traversal statistics.
+#pragma once
+
+#include <chrono>
+
+namespace grind {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Usage:
+///   Timer t;                 // starts running
+///   ... work ...
+///   double s = t.seconds();  // elapsed
+///   t.reset();               // restart
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the total time spent in repeated timed sections, e.g. the
+/// engine accumulating time per traversal kind.
+class AccumTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  void add(double seconds) { total_ += seconds; }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace grind

@@ -1,0 +1,71 @@
+// Core integer types and small helpers shared by every module.
+//
+// The library follows the paper's storage model (§II-E): vertex IDs are
+// 32-bit (`bv` = 4 bytes) and edge indices are 64-bit (`be` = 8 bytes) so
+// that billion-edge graphs are representable.  All byte-size accounting in
+// partition/storage_model.hpp is expressed in terms of these widths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace grind {
+
+/// Vertex identifier. 32 bits: the paper's graphs have < 2^32 vertices.
+using vid_t = std::uint32_t;
+
+/// Edge identifier / index into edge arrays. 64 bits: Friendster has 1.8 B
+/// edges, which overflows 32 bits.
+using eid_t = std::uint64_t;
+
+/// Partition identifier.
+using part_t = std::uint32_t;
+
+/// Edge weight. Algorithms that ignore weights receive 1.0f.
+using weight_t = float;
+
+/// Sentinel for "no vertex" (e.g. unreached BFS parent).
+inline constexpr vid_t kInvalidVertex = std::numeric_limits<vid_t>::max();
+
+/// Sentinel for "no edge".
+inline constexpr eid_t kInvalidEdge = std::numeric_limits<eid_t>::max();
+
+/// Bytes used to store one vertex ID (`bv` in the paper's storage formulas).
+inline constexpr std::size_t kBytesPerVertexId = sizeof(vid_t);
+
+/// Bytes used to store one edge-list index (`be` in the paper's formulas).
+inline constexpr std::size_t kBytesPerEdgeIndex = sizeof(eid_t);
+
+/// Cache-line size assumed throughout (alignment, cache simulator).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A single directed edge with optional weight.  The COO layout (§II) is an
+/// array of these; `weight` is kept inline so that edge reordering (source /
+/// destination / Hilbert sort, §IV-C) permutes weights together with
+/// endpoints.
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  weight_t weight = 1.0f;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Half-open range [begin, end) of vertex IDs; used for partition ownership
+/// and for the CSC "partitioned computation range" (§II-C).
+struct VertexRange {
+  vid_t begin = 0;
+  vid_t end = 0;
+
+  [[nodiscard]] constexpr vid_t size() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return begin == end; }
+  [[nodiscard]] constexpr bool contains(vid_t v) const {
+    return v >= begin && v < end;
+  }
+
+  friend constexpr bool operator==(const VertexRange&,
+                                   const VertexRange&) = default;
+};
+
+}  // namespace grind

@@ -1,0 +1,112 @@
+#include "algorithms/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_names.hpp"
+
+#include "algorithms/ref/reference.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace grind::algorithms {
+namespace {
+
+using engine::Engine;
+using engine::Layout;
+using engine::Options;
+using graph::Graph;
+
+void expect_bc_match(const graph::EdgeList& el, const BcResult& got,
+                     vid_t source, double tol = 1e-9) {
+  const auto want = ref::bc_dependency(el, source);
+  ASSERT_EQ(got.dependency.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v)
+    ASSERT_NEAR(got.dependency[v], want[v], tol) << "v=" << v;
+}
+
+class BcLayouts : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(BcLayouts, DependenciesMatchBrandesOnRmat) {
+  const auto el = graph::rmat(9, 6, 3);
+  const Graph g = Graph::build(graph::EdgeList(el));
+  Options opts;
+  opts.layout = GetParam();
+  Engine eng(g, opts);
+  const BcResult r = betweenness_centrality(eng, 0);
+  expect_bc_match(el, r, 0);
+}
+
+// kPartitionedCsr excluded: the transpose path maps it to COO (no pruned
+// transpose layout exists), which the ForcedCoo case already covers.
+INSTANTIATE_TEST_SUITE_P(Layouts, BcLayouts,
+                         ::testing::Values(Layout::kAuto, Layout::kSparseCsr,
+                                           Layout::kBackwardCsc,
+                                           Layout::kDenseCoo),
+                         [](const auto& info) {
+                           return testing_support::layout_test_name(
+                               info.param);
+                         });
+
+TEST(Bc, PathGraphDependencies) {
+  // On a directed path 0→1→2→3→4 from source 0: δ(v) = #descendants.
+  const Graph g = Graph::build(graph::path(5));
+  Engine eng(g);
+  const BcResult r = betweenness_centrality(eng, 0);
+  EXPECT_DOUBLE_EQ(r.dependency[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.dependency[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.dependency[2], 2.0);
+  EXPECT_DOUBLE_EQ(r.dependency[3], 1.0);
+  EXPECT_DOUBLE_EQ(r.dependency[4], 0.0);
+}
+
+TEST(Bc, DiamondSplitsPathCounts) {
+  // 0→{1,2}→3: two shortest paths to 3; δ(1) = δ(2) = 1/2.
+  graph::EdgeList el;
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(1, 3);
+  el.add(2, 3);
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const BcResult r = betweenness_centrality(eng, 0);
+  EXPECT_DOUBLE_EQ(r.sigma[3], 2.0);
+  EXPECT_DOUBLE_EQ(r.dependency[1], 0.5);
+  EXPECT_DOUBLE_EQ(r.dependency[2], 0.5);
+  // Brandes accumulation applied at the source too: Σ_u σ0/σu·(1+δu)
+  // = 1·(1+0.5) + 1·(1+0.5) = 3 (callers exclude the source from
+  // centrality totals).
+  EXPECT_DOUBLE_EQ(r.dependency[0], 3.0);
+}
+
+TEST(Bc, SigmaCountsShortestPaths) {
+  const auto el = graph::rmat(9, 6, 11);
+  const Graph g = Graph::build(graph::EdgeList(el));
+  Engine eng(g);
+  const BcResult r = betweenness_centrality(eng, 0);
+  // σ(source) = 1, σ > 0 exactly for reached vertices.
+  EXPECT_DOUBLE_EQ(r.sigma[0], 1.0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.sigma[v] > 0.0, r.level[v] >= 0) << "v=" << v;
+  }
+}
+
+TEST(Bc, MultipleSourcesMatchReference) {
+  const auto el = graph::powerlaw(1200, 2.0, 6.0, 3);
+  const Graph g = Graph::build(graph::EdgeList(el));
+  Engine eng(g);
+  for (vid_t src : {0u, 5u, 600u}) {
+    const BcResult r = betweenness_centrality(eng, src);
+    expect_bc_match(el, r, src, 1e-7);
+  }
+}
+
+TEST(Bc, RoadNetworkMatchesReference) {
+  const auto el = graph::road_lattice(12, 12, 0.1, 3);
+  const Graph g = Graph::build(graph::EdgeList(el));
+  Engine eng(g);
+  const BcResult r = betweenness_centrality(eng, 0);
+  expect_bc_match(el, r, 0, 1e-7);
+}
+
+}  // namespace
+}  // namespace grind::algorithms

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/test_names.hpp"
+
+#include <cmath>
+
+#include "algorithms/belief_propagation.hpp"
+#include "algorithms/ref/reference.hpp"
+#include "algorithms/spmv.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "sys/rng.hpp"
+
+namespace grind::algorithms {
+namespace {
+
+using engine::Engine;
+using engine::Layout;
+using engine::Options;
+using graph::Graph;
+
+class SpmvLayouts : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(SpmvLayouts, MatchesSerialProduct) {
+  const auto el = graph::rmat(9, 8, 3);
+  std::vector<double> x(el.num_vertices());
+  Xoshiro256 rng(7);
+  for (auto& v : x) v = rng.next_double();
+  const auto want = ref::spmv(el, x);
+
+  graph::BuildOptions b;
+  b.build_partitioned_csr = true;
+  b.num_partitions = 16;
+  const Graph g = Graph::build(graph::EdgeList(el), b);
+  Options opts;
+  opts.layout = GetParam();
+  Engine eng(g, opts);
+  const auto r = spmv(eng, x);
+  ASSERT_EQ(r.y.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_NEAR(r.y[i], want[i], 1e-9) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, SpmvLayouts,
+                         ::testing::Values(Layout::kAuto, Layout::kSparseCsr,
+                                           Layout::kBackwardCsc,
+                                           Layout::kDenseCoo,
+                                           Layout::kPartitionedCsr),
+                         [](const auto& info) {
+                           return testing_support::layout_test_name(
+                               info.param);
+                         });
+
+TEST(Spmv, DefaultVectorIsOnes) {
+  // y[d] = Σ weights of in-edges when x = 1.
+  graph::EdgeList el;
+  el.add(0, 2, 1.5f);
+  el.add(1, 2, 2.5f);
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto r = spmv(eng);
+  EXPECT_NEAR(r.y[2], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.y[0], 0.0);
+}
+
+TEST(Spmv, RejectsWrongDimension) {
+  const Graph g = Graph::build(graph::rmat(8, 4, 3));
+  Engine eng(g);
+  EXPECT_THROW(spmv(eng, std::vector<double>(3, 1.0)), std::invalid_argument);
+}
+
+TEST(BeliefPropagation, MatchesSerialReference) {
+  const auto el = graph::rmat(9, 6, 3);
+  const BeliefPropagationOptions opts;
+  const auto want = ref::belief_propagation(el, opts.iterations, opts.q_base,
+                                            opts.q_scale, opts.prior_seed);
+  const Graph g = Graph::build(graph::EdgeList(el));
+  Engine eng(g);
+  const auto r = belief_propagation(eng, opts);
+  ASSERT_EQ(r.belief0.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v)
+    ASSERT_NEAR(r.belief0[v], want[v], 1e-9) << "v=" << v;
+}
+
+TEST(BeliefPropagation, BeliefsAreProbabilities) {
+  const Graph g = Graph::build(graph::rmat(10, 8, 5));
+  Engine eng(g);
+  const auto r = belief_propagation(eng);
+  for (double b : r.belief0) {
+    // High-degree hubs may saturate to exactly 0 or 1 in double precision;
+    // the invariant is containment in [0, 1] and no NaNs.
+    ASSERT_GE(b, 0.0);
+    ASSERT_LE(b, 1.0);
+    ASSERT_FALSE(std::isnan(b));
+  }
+}
+
+TEST(BeliefPropagation, IsolatedVertexKeepsPrior) {
+  graph::EdgeList el;
+  el.add(0, 1);
+  el.set_num_vertices(3);  // vertex 2 isolated
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  BeliefPropagationOptions opts;
+  const auto r = belief_propagation(eng, opts);
+  const double prior2 = detail::bp_prior(opts.prior_seed, 2);
+  EXPECT_NEAR(r.belief0[2], prior2, 1e-12);
+}
+
+TEST(BeliefPropagation, AttractiveCouplingPullsNeighboursTogether) {
+  // A strongly coupled pair should end closer in belief than their priors.
+  graph::EdgeList el;
+  el.add(0, 1, 1.0f);  // low weight → q near q_base → strong same-state pull
+  el.add(1, 0, 1.0f);
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  BeliefPropagationOptions opts;
+  opts.iterations = 20;
+  const auto r = belief_propagation(eng, opts);
+  const double p0 = detail::bp_prior(opts.prior_seed, 0);
+  const double p1 = detail::bp_prior(opts.prior_seed, 1);
+  EXPECT_LT(std::fabs(r.belief0[0] - r.belief0[1]), std::fabs(p0 - p1));
+}
+
+TEST(BeliefPropagation, DeterministicAcrossRunsWithoutAtomics) {
+  // The "+na" configuration accumulates per-partition serially, so results
+  // are bitwise reproducible; "+a" reorders atomic float adds and is only
+  // reproducible up to rounding.
+  const Graph g = Graph::build(graph::rmat(9, 6, 5));
+  Options opts;
+  opts.atomics = engine::AtomicsMode::kForceOff;
+  Engine e1(g, opts), e2(g, opts);
+  const auto a = belief_propagation(e1);
+  const auto b = belief_propagation(e2);
+  EXPECT_EQ(a.belief0, b.belief0);
+}
+
+}  // namespace
+}  // namespace grind::algorithms

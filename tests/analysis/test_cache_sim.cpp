@@ -1,0 +1,95 @@
+#include "analysis/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sys/rng.hpp"
+
+namespace grind::analysis {
+namespace {
+
+CacheConfig tiny(std::size_t size, std::size_t ways) {
+  CacheConfig c;
+  c.size_bytes = size;
+  c.line_bytes = 64;
+  c.ways = ways;
+  return c;
+}
+
+TEST(CacheSim, FirstAccessMissesSecondHits) {
+  CacheSim c(tiny(1 << 12, 4));
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));  // same line
+  EXPECT_FALSE(c.access(64)); // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheSim, LruEvictionOrder) {
+  // 1 set × 2 ways: A, B fill the set; C evicts A (LRU); A then misses.
+  CacheConfig cfg;
+  cfg.size_bytes = 128;  // 2 lines
+  cfg.line_bytes = 64;
+  cfg.ways = 2;
+  CacheSim c(cfg);
+  EXPECT_EQ(c.num_sets(), 1u);
+  const std::uintptr_t A = 0, B = 64, C = 128;
+  c.access(A);
+  c.access(B);
+  EXPECT_TRUE(c.access(A));   // A now MRU
+  EXPECT_FALSE(c.access(C));  // evicts B (LRU)
+  EXPECT_TRUE(c.access(A));
+  EXPECT_FALSE(c.access(B));  // B was evicted
+}
+
+TEST(CacheSim, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  CacheSim c(tiny(1 << 16, 8));  // 64 KiB
+  // 32 KiB working set, sequential sweeps.
+  for (int round = 0; round < 3; ++round)
+    for (std::uintptr_t a = 0; a < (1 << 15); a += 64) c.access(a);
+  // After the first (cold) sweep everything fits: miss count == lines.
+  EXPECT_EQ(c.misses(), (1u << 15) / 64);
+}
+
+TEST(CacheSim, WorkingSetLargerThanCacheThrashesOnRandom) {
+  CacheSim c(tiny(1 << 14, 8));  // 16 KiB cache
+  Xoshiro256 rng(3);
+  const std::uintptr_t span = 1 << 22;  // 4 MiB working set
+  for (int i = 0; i < 50000; ++i)
+    c.access(rng.next_below(span) & ~std::uintptr_t{63});
+  EXPECT_GT(c.miss_rate(), 0.9);
+}
+
+TEST(CacheSim, MpkiComputation) {
+  CacheSim c(tiny(1 << 12, 4));
+  c.access(0);     // miss
+  c.access(4096);  // miss (different set? maybe; at least 1 miss)
+  const double mpki = c.mpki(1000);
+  EXPECT_DOUBLE_EQ(mpki, static_cast<double>(c.misses()));
+  EXPECT_DOUBLE_EQ(c.mpki(0), 0.0);
+}
+
+TEST(CacheSim, ResetClearsCounters) {
+  CacheSim c(tiny(1 << 12, 4));
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(0));  // cold again after reset
+}
+
+TEST(CacheSim, RejectsBadConfig) {
+  CacheConfig bad;
+  bad.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(CacheSim{bad}, std::invalid_argument);
+  CacheConfig zero_ways;
+  zero_ways.ways = 0;
+  EXPECT_THROW(CacheSim{zero_ways}, std::invalid_argument);
+}
+
+TEST(CacheSim, SetCountIsPowerOfTwo) {
+  CacheSim c(tiny(3 << 12, 4));  // 12 KiB → 192 lines → 48 sets → rounds to 32
+  EXPECT_EQ(c.num_sets() & (c.num_sets() - 1), 0u);
+}
+
+}  // namespace
+}  // namespace grind::analysis

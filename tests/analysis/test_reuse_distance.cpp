@@ -1,0 +1,130 @@
+#include "analysis/reuse_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "partition/partitioned_coo.hpp"
+#include "partition/partitioner.hpp"
+#include "sys/rng.hpp"
+
+namespace grind::analysis {
+namespace {
+
+/// O(N²) oracle: distinct keys since previous access to the same key.
+struct NaiveProfiler {
+  std::vector<std::uint64_t> trace;
+  std::uint64_t cold = 0;
+  std::vector<std::uint64_t> distances;
+
+  void access(std::uint64_t key) {
+    // Find previous occurrence.
+    std::size_t prev = trace.size();
+    for (std::size_t i = trace.size(); i-- > 0;) {
+      if (trace[i] == key) {
+        prev = i;
+        break;
+      }
+    }
+    if (prev == trace.size()) {
+      ++cold;
+    } else {
+      std::set<std::uint64_t> distinct(trace.begin() + prev + 1, trace.end());
+      distances.push_back(distinct.size());
+    }
+    trace.push_back(key);
+  }
+};
+
+TEST(ReuseDistance, SimpleSequence) {
+  ReuseDistanceProfiler p(1);  // 1-byte lines: keys = addresses
+  // a b c a : reuse distance of the second 'a' is 2 (b, c).
+  p.access(0);
+  p.access(1);
+  p.access(2);
+  p.access(0);
+  EXPECT_EQ(p.cold_accesses(), 3u);
+  EXPECT_EQ(p.max_distance(), 2u);
+  EXPECT_DOUBLE_EQ(p.mean_distance(), 2.0);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero) {
+  ReuseDistanceProfiler p(1);
+  p.access(7);
+  p.access(7);
+  p.access(7);
+  EXPECT_EQ(p.cold_accesses(), 1u);
+  EXPECT_EQ(p.max_distance(), 0u);
+  ASSERT_FALSE(p.histogram().empty());
+  EXPECT_EQ(p.histogram()[0], 2u);  // two distance-0 reuses in bucket 0
+}
+
+TEST(ReuseDistance, LineQuantisation) {
+  ReuseDistanceProfiler p(64);
+  p.access(0);
+  p.access(32);  // same line → distance 0 reuse
+  p.access(64);  // new line
+  EXPECT_EQ(p.cold_accesses(), 2u);
+  EXPECT_EQ(p.total_accesses(), 3u);
+}
+
+TEST(ReuseDistance, MatchesNaiveOracleOnRandomTrace) {
+  ReuseDistanceProfiler p(1);
+  NaiveProfiler naive;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.next_below(64);
+    p.access_key(key);
+    naive.access(key);
+  }
+  EXPECT_EQ(p.cold_accesses(), naive.cold);
+  // Compare histogram reconstruction.
+  std::vector<std::uint64_t> want_hist;
+  for (std::uint64_t d : naive.distances) {
+    const std::size_t b = ReuseDistanceProfiler::bucket_of(d);
+    if (want_hist.size() <= b) want_hist.resize(b + 1, 0);
+    ++want_hist[b];
+  }
+  EXPECT_EQ(p.histogram(), want_hist);
+}
+
+TEST(ReuseDistance, BucketBoundaries) {
+  EXPECT_EQ(ReuseDistanceProfiler::bucket_of(0), 0u);
+  EXPECT_EQ(ReuseDistanceProfiler::bucket_of(1), 0u);
+  EXPECT_EQ(ReuseDistanceProfiler::bucket_of(2), 1u);
+  EXPECT_EQ(ReuseDistanceProfiler::bucket_of(3), 1u);
+  EXPECT_EQ(ReuseDistanceProfiler::bucket_of(4), 2u);
+  EXPECT_EQ(ReuseDistanceProfiler::bucket_of(1024), 10u);
+}
+
+TEST(ReuseDistance, ResetClearsState) {
+  ReuseDistanceProfiler p(1);
+  p.access(1);
+  p.access(1);
+  p.reset();
+  EXPECT_EQ(p.total_accesses(), 0u);
+  EXPECT_EQ(p.cold_accesses(), 0u);
+  EXPECT_TRUE(p.histogram().empty());
+}
+
+TEST(ReuseDistance, PartitioningContractsDistances) {
+  // The Fig-2 effect: profiling destination-value updates of a COO
+  // traversal, more partitions ⇒ smaller worst-case and mean reuse distance.
+  const auto el = graph::rmat(10, 16, 5);
+  auto profile = [&](part_t parts) {
+    const auto p = partition::make_partitioning(el, parts);
+    const auto coo = partition::PartitionedCoo::build(el, p);
+    ReuseDistanceProfiler prof(1);
+    for (const Edge& e : coo.all_edges()) prof.access_key(e.dst);
+    return prof;
+  };
+  const auto p1 = profile(1);
+  const auto p16 = profile(16);
+  EXPECT_LT(p16.max_distance(), p1.max_distance());
+  EXPECT_LT(p16.mean_distance(), p1.mean_distance() * 0.5);
+}
+
+}  // namespace
+}  // namespace grind::analysis

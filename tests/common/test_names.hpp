@@ -1,0 +1,17 @@
+// Shared helpers for parameterized-test naming (gtest forbids '-' in names).
+#pragma once
+
+#include <string>
+
+#include "engine/options.hpp"
+
+namespace grind::testing_support {
+
+inline std::string layout_test_name(engine::Layout l) {
+  std::string s = engine::to_string(l);
+  for (char& c : s)
+    if (c == '-') c = '_';
+  return s;
+}
+
+}  // namespace grind::testing_support

@@ -1,0 +1,125 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace grind::graph {
+namespace {
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::build(EdgeList{}, Adjacency::kOut);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Csr, SingleVertexNoEdges) {
+  EdgeList el;
+  el.set_num_vertices(1);
+  const Csr g = Csr::build(el, Adjacency::kOut);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Csr, OutAdjacencyGroupsBySource) {
+  EdgeList el;
+  el.add(1, 0, 5.0f);
+  el.add(0, 2, 1.0f);
+  el.add(0, 1, 2.0f);
+  const Csr g = Csr::build(el, Adjacency::kOut);
+  ASSERT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  // Neighbors sorted ascending; weights permuted alongside.
+  const auto n0 = g.neighbors(0);
+  const auto w0 = g.weights(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_FLOAT_EQ(w0[0], 2.0f);
+  EXPECT_FLOAT_EQ(w0[1], 1.0f);
+}
+
+TEST(Csr, InAdjacencyGroupsByDestination) {
+  EdgeList el;
+  el.add(0, 2);
+  el.add(1, 2);
+  el.add(2, 0);
+  const Csr g = Csr::build(el, Adjacency::kIn);
+  EXPECT_EQ(g.degree(2), 2u);  // in-degree
+  const auto n2 = g.neighbors(2);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+}
+
+TEST(Csr, OffsetsAreMonotoneAndCoverAllEdges) {
+  const EdgeList el = rmat(10, 8, 99);
+  const Csr g = Csr::build(el, Adjacency::kOut);
+  const auto off = g.offsets();
+  ASSERT_EQ(off.size(), static_cast<std::size_t>(g.num_vertices()) + 1);
+  EXPECT_EQ(off.front(), 0u);
+  EXPECT_EQ(off.back(), el.num_edges());
+  for (std::size_t i = 0; i + 1 < off.size(); ++i)
+    ASSERT_LE(off[i], off[i + 1]);
+}
+
+TEST(Csr, RoundTripPreservesMultiset) {
+  const EdgeList el = rmat(9, 6, 5);
+  const Csr g = Csr::build(el, Adjacency::kOut);
+  std::multiset<std::pair<vid_t, vid_t>> want, got;
+  for (const Edge& e : el.edges()) want.emplace(e.src, e.dst);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    for (vid_t u : g.neighbors(v)) got.emplace(v, u);
+  EXPECT_EQ(got, want);
+}
+
+TEST(Csr, CsrAndCscAreTransposes) {
+  const EdgeList el = rmat(9, 6, 17);
+  const Csr out = Csr::build(el, Adjacency::kOut);
+  const Csr in = Csr::build(el, Adjacency::kIn);
+  EXPECT_EQ(out.num_edges(), in.num_edges());
+  std::multiset<std::pair<vid_t, vid_t>> fwd, rev;
+  for (vid_t v = 0; v < out.num_vertices(); ++v)
+    for (vid_t u : out.neighbors(v)) fwd.emplace(v, u);
+  for (vid_t v = 0; v < in.num_vertices(); ++v)
+    for (vid_t u : in.neighbors(v)) rev.emplace(u, v);
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(Csr, WeightsFollowEdgesInBothAdjacencies) {
+  EdgeList el;
+  el.add(0, 1, 1.5f);
+  el.add(2, 1, 2.5f);
+  const Csr in = Csr::build(el, Adjacency::kIn);
+  const auto n1 = in.neighbors(1);
+  const auto w1 = in.weights(1);
+  ASSERT_EQ(n1.size(), 2u);
+  // Sources sorted: 0 then 2.
+  EXPECT_FLOAT_EQ(w1[0], 1.5f);
+  EXPECT_FLOAT_EQ(w1[1], 2.5f);
+}
+
+TEST(Csr, StorageBytesFormula) {
+  const EdgeList el = rmat(8, 4, 3);
+  const Csr g = Csr::build(el, Adjacency::kOut);
+  const std::size_t want =
+      (static_cast<std::size_t>(g.num_vertices()) + 1) * kBytesPerEdgeIndex +
+      static_cast<std::size_t>(g.num_edges()) * kBytesPerVertexId;
+  EXPECT_EQ(g.storage_bytes_unweighted(), want);
+}
+
+TEST(Csr, ParallelEdgesPreserved) {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(0, 1);
+  const Csr g = Csr::build(el, Adjacency::kOut);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace grind::graph

@@ -1,0 +1,114 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sys/parallel.hpp"
+
+namespace grind::graph {
+namespace {
+
+TEST(Rmat, SizesAndDeterminism) {
+  const EdgeList a = rmat(10, 8, 42);
+  const EdgeList b = rmat(10, 8, 42);
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  // Self-loops removed, so slightly below 8*1024.
+  EXPECT_LE(a.num_edges(), 8192u);
+  EXPECT_GE(a.num_edges(), 7000u);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (eid_t i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(Rmat, DeterministicAcrossThreadCounts) {
+  const EdgeList a = rmat(10, 4, 7);
+  ThreadCountGuard guard(1);
+  const EdgeList b = rmat(10, 4, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (eid_t i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  const EdgeList el = rmat(12, 16, 1);
+  auto deg = el.in_degrees();
+  std::sort(deg.begin(), deg.end(), std::greater<>{});
+  // Heavy tail: the top vertex should hold far more than the average.
+  const double avg = static_cast<double>(el.num_edges()) /
+                     static_cast<double>(el.num_vertices());
+  EXPECT_GT(static_cast<double>(deg[0]), 10.0 * avg);
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  const EdgeList a = rmat(8, 4, 1);
+  const EdgeList b = rmat(8, 4, 2);
+  bool any_diff = a.num_edges() != b.num_edges();
+  for (eid_t i = 0; !any_diff && i < a.num_edges(); ++i)
+    any_diff = !(a.edge(i) == b.edge(i));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Powerlaw, SizeAndTail) {
+  const EdgeList el = powerlaw(5000, 2.0, 10.0, 3);
+  EXPECT_EQ(el.num_vertices(), 5000u);
+  EXPECT_GT(el.num_edges(), 40000u);
+  auto deg = el.out_degrees();
+  std::sort(deg.begin(), deg.end(), std::greater<>{});
+  EXPECT_GT(deg[0], 50u);  // hub exists
+}
+
+TEST(ErdosRenyi, UniformAndLoopFree) {
+  const EdgeList el = erdos_renyi(1000, 10000, 5);
+  EXPECT_EQ(el.num_vertices(), 1000u);
+  for (const Edge& e : el.edges()) {
+    ASSERT_LT(e.src, 1000u);
+    ASSERT_LT(e.dst, 1000u);
+    ASSERT_NE(e.src, e.dst);
+  }
+  auto deg = el.out_degrees();
+  std::sort(deg.begin(), deg.end(), std::greater<>{});
+  // No hub in a uniform graph: max degree within ~4x of the mean.
+  EXPECT_LT(deg[0], 40u);
+}
+
+TEST(RoadLattice, StructureAndSymmetry) {
+  const EdgeList el = road_lattice(20, 30, 0.1, 7);
+  EXPECT_EQ(el.num_vertices(), 600u);
+  // Every edge has its reverse with the same weight.
+  std::vector<Edge> edges(el.edges().begin(), el.edges().end());
+  for (const Edge& e : edges) {
+    const bool found = std::any_of(edges.begin(), edges.end(), [&](const Edge& r) {
+      return r.src == e.dst && r.dst == e.src && r.weight == e.weight;
+    });
+    ASSERT_TRUE(found) << e.src << "->" << e.dst;
+  }
+  // Low max degree (4 lattice + few shortcuts).
+  EXPECT_LE(el.max_degree(), 16u);
+}
+
+TEST(RoadLattice, WeightsInRange) {
+  const EdgeList el = road_lattice(5, 5, 0.0, 1);
+  for (const Edge& e : el.edges()) {
+    ASSERT_GE(e.weight, 1.0f);
+    ASSERT_LT(e.weight, 10.0f);
+  }
+}
+
+TEST(SmallGraphs, PathCycleStarComplete) {
+  EXPECT_EQ(path(5).num_edges(), 4u);
+  EXPECT_EQ(cycle(5).num_edges(), 5u);
+  EXPECT_EQ(star(5).num_edges(), 4u);
+  EXPECT_EQ(complete(5).num_edges(), 20u);
+  EXPECT_EQ(path(0).num_edges(), 0u);
+  EXPECT_EQ(path(1).num_edges(), 0u);
+}
+
+TEST(PaperExample, SixVerticesFourteenEdges) {
+  const EdgeList el = paper_example();
+  EXPECT_EQ(el.num_vertices(), 6u);
+  EXPECT_EQ(el.num_edges(), 14u);
+}
+
+}  // namespace
+}  // namespace grind::graph

@@ -1,0 +1,113 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+
+namespace grind::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "grind_io_test";
+    std::filesystem::create_directories(dir);
+    paths_.push_back((dir / name).string());
+    return paths_.back();
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::filesystem::remove(p);
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(IoTest, SnapRoundTripUnweighted) {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(2, 3);
+  el.add(1, 0);
+  const auto path = temp_path("plain.txt");
+  save_snap(el, path);
+  const EdgeList back = load_snap(path);
+  ASSERT_EQ(back.num_edges(), el.num_edges());
+  for (eid_t i = 0; i < el.num_edges(); ++i) {
+    EXPECT_EQ(back.edge(i).src, el.edge(i).src);
+    EXPECT_EQ(back.edge(i).dst, el.edge(i).dst);
+  }
+}
+
+TEST_F(IoTest, SnapSkipsCommentsAndBlankLines) {
+  const auto path = temp_path("comments.txt");
+  std::ofstream out(path);
+  out << "# a comment\n\n0\t1\n% percent comment\n1\t2\n";
+  out.close();
+  const EdgeList el = load_snap(path);
+  EXPECT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.num_vertices(), 3u);
+}
+
+TEST_F(IoTest, SnapParsesOptionalWeights) {
+  const auto path = temp_path("weighted.txt");
+  std::ofstream out(path);
+  out << "0 1 2.5\n1 2\n";
+  out.close();
+  const EdgeList el = load_snap(path);
+  EXPECT_FLOAT_EQ(el.edge(0).weight, 2.5f);
+  EXPECT_FLOAT_EQ(el.edge(1).weight, 1.0f);
+}
+
+TEST_F(IoTest, SnapMissingFileThrows) {
+  EXPECT_THROW(load_snap("/nonexistent/definitely/missing.txt"),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, SnapMalformedLineThrows) {
+  const auto path = temp_path("bad.txt");
+  std::ofstream out(path);
+  out << "0 1\nnot numbers\n";
+  out.close();
+  EXPECT_THROW(load_snap(path), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  const EdgeList el = rmat(9, 8, 11);
+  const auto path = temp_path("graph.bin");
+  save_binary(el, path);
+  const EdgeList back = load_binary(path);
+  ASSERT_EQ(back.num_vertices(), el.num_vertices());
+  ASSERT_EQ(back.num_edges(), el.num_edges());
+  for (eid_t i = 0; i < el.num_edges(); ++i)
+    ASSERT_EQ(back.edge(i), el.edge(i));
+}
+
+TEST_F(IoTest, BinaryBadMagicThrows) {
+  const auto path = temp_path("junk.bin");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a graph file at all, just junk bytes";
+  out.close();
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryTruncatedThrows) {
+  const EdgeList el = rmat(8, 4, 2);
+  const auto path = temp_path("trunc.bin");
+  save_binary(el, path);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+}
+
+TEST_F(IoTest, SnapPreservesWeightedFlagRoundTrip) {
+  EdgeList el;
+  el.add(0, 1, 3.5f);
+  const auto path = temp_path("w2.txt");
+  save_snap(el, path);
+  const EdgeList back = load_snap(path);
+  EXPECT_FLOAT_EQ(back.edge(0).weight, 3.5f);
+}
+
+}  // namespace
+}  // namespace grind::graph

@@ -1,0 +1,117 @@
+// Degenerate-input robustness: empty graphs, isolated vertices, self-loops
+// and the paper's worked example, through the full build→engine→algorithm
+// stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/belief_propagation.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/ref/reference.hpp"
+#include "algorithms/spmv.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace grind {
+namespace {
+
+using engine::Engine;
+using graph::Graph;
+
+TEST(EdgeCases, EmptyGraphRunsEverythingSafely) {
+  const Graph g = Graph::build(graph::EdgeList{});
+  Engine eng(g);
+  EXPECT_EQ(algorithms::connected_components(eng).num_components, 0u);
+  EXPECT_TRUE(algorithms::pagerank(eng).rank.empty());
+  EXPECT_TRUE(algorithms::pagerank_delta(eng).rank.empty());
+  EXPECT_TRUE(algorithms::spmv(eng).y.empty());
+  EXPECT_TRUE(algorithms::belief_propagation(eng).belief0.empty());
+}
+
+TEST(EdgeCases, SingleVertexNoEdges) {
+  graph::EdgeList el;
+  el.set_num_vertices(1);
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto bfs_r = algorithms::bfs(eng, 0);
+  EXPECT_EQ(bfs_r.reached, 1u);
+  EXPECT_EQ(bfs_r.level[0], 0);
+  const auto bf_r = algorithms::bellman_ford(eng, 0);
+  EXPECT_DOUBLE_EQ(bf_r.dist[0], 0.0);
+  const auto pr = algorithms::pagerank(eng);
+  EXPECT_NEAR(pr.rank[0], 0.15, 1e-12);  // base term only
+  const auto bc_r = algorithms::betweenness_centrality(eng, 0);
+  EXPECT_DOUBLE_EQ(bc_r.dependency[0], 0.0);
+}
+
+TEST(EdgeCases, SelfLoopsAreHarmless) {
+  graph::EdgeList el;
+  el.add(0, 0);
+  el.add(0, 1);
+  el.add(1, 1);
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto bfs_r = algorithms::bfs(eng, 0);
+  EXPECT_EQ(bfs_r.level[1], 1);
+  const auto cc = algorithms::connected_components(eng);
+  EXPECT_EQ(cc.labels[1], 0u);
+  const auto pr = algorithms::pagerank(eng);
+  for (double x : pr.rank) EXPECT_FALSE(std::isnan(x));
+}
+
+TEST(EdgeCases, AllIsolatedVertices) {
+  graph::EdgeList el;
+  el.set_num_vertices(100);
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto cc = algorithms::connected_components(eng);
+  EXPECT_EQ(cc.num_components, 100u);
+  const auto prd = algorithms::pagerank_delta(eng);
+  for (double x : prd.rank) EXPECT_DOUBLE_EQ(x, 0.01);
+}
+
+TEST(EdgeCases, PaperExampleEndToEnd) {
+  const auto el = graph::paper_example();
+  graph::BuildOptions b;
+  b.num_partitions = 2;
+  b.boundary_align = 1;
+  const Graph g = Graph::build(graph::EdgeList(el), b);
+  Engine eng(g);
+
+  const auto bfs_r = algorithms::bfs(eng, 0);
+  const auto want = algorithms::ref::bfs_levels(el, 0);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(bfs_r.level[v], want[v]);
+
+  const auto pr = algorithms::pagerank(eng);
+  const auto pr_want = algorithms::ref::pagerank(el, 10, 0.85);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_NEAR(pr.rank[v], pr_want[v], 1e-12);
+}
+
+TEST(EdgeCases, SourceWithNoOutEdges) {
+  graph::EdgeList el = graph::path(5);  // vertex 4 is a sink
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto r = algorithms::bfs(eng, 4);
+  EXPECT_EQ(r.reached, 1u);
+  EXPECT_EQ(r.rounds, 1);  // one edge_map discovering nothing
+  const auto bc_r = algorithms::betweenness_centrality(eng, 4);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(bc_r.dependency[v], 0.0);
+}
+
+TEST(EdgeCases, DuplicateEdgesCountTwiceInAccumulation) {
+  graph::EdgeList el;
+  el.add(0, 1, 2.0f);
+  el.add(0, 1, 2.0f);  // parallel edge
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto r = algorithms::spmv(eng);
+  EXPECT_DOUBLE_EQ(r.y[1], 4.0);
+}
+
+}  // namespace
+}  // namespace grind

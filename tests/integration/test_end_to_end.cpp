@@ -1,0 +1,142 @@
+// End-to-end integration: generate → save → load → build composite →
+// run every algorithm → cross-check invariants and determinism.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/belief_propagation.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/spmv.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "sys/parallel.hpp"
+
+namespace grind {
+namespace {
+
+using engine::Engine;
+using graph::Graph;
+
+TEST(EndToEnd, GenerateSaveLoadBuildRun) {
+  const auto dir = std::filesystem::temp_directory_path() / "grind_e2e";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "g.bin").string();
+
+  const auto el = graph::rmat(10, 8, 2024);
+  graph::save_binary(el, path);
+  const auto loaded = graph::load_binary(path);
+  std::filesystem::remove(path);
+
+  const Graph g = Graph::build(graph::EdgeList(loaded));
+  Engine eng(g);
+
+  const auto bfs_r = algorithms::bfs(eng, 0);
+  EXPECT_GT(bfs_r.reached, 1u);
+
+  const auto pr = algorithms::pagerank(eng);
+  const double total =
+      std::accumulate(pr.rank.begin(), pr.rank.end(), 0.0);
+  EXPECT_GT(total, 0.1);
+  EXPECT_LE(total, 1.0 + 1e-9);  // dangling mass leaks, never grows
+
+  const auto cc = algorithms::connected_components(eng);
+  EXPECT_GE(cc.num_components, 1u);
+
+  const auto bf = algorithms::bellman_ford(eng, 0);
+  EXPECT_DOUBLE_EQ(bf.dist[0], 0.0);
+
+  // BFS reachability must equal finite Bellman-Ford distances (same edges).
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(bfs_r.level[v] >= 0, !std::isinf(bf.dist[v])) << "v=" << v;
+
+  // BFS levels lower-bound hop counts implied by BC's forward phase.
+  const auto bc = algorithms::betweenness_centrality(eng, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(bc.level[v], bfs_r.level[v]) << "v=" << v;
+
+  // Engine must have exercised several kernels over this workload mix.
+  int kinds = 0;
+  for (int k = 0; k < 4; ++k) kinds += eng.stats().calls[k] > 0 ? 1 : 0;
+  EXPECT_GE(kinds, 2);
+}
+
+TEST(EndToEnd, ResultsStableAcrossThreadCounts) {
+  const auto el = graph::powerlaw(4000, 2.0, 8.0, 77);
+  const Graph g = Graph::build(graph::EdgeList(el));
+
+  auto run_all = [&]() {
+    Engine eng(g);
+    auto bfs_r = algorithms::bfs(eng, 1);
+    auto cc_r = algorithms::connected_components(eng);
+    auto bf_r = algorithms::bellman_ford(eng, 1);
+    return std::make_tuple(bfs_r.level, cc_r.labels, bf_r.dist);
+  };
+
+  const auto full = run_all();
+  ThreadCountGuard guard(2);
+  const auto two = run_all();
+  EXPECT_EQ(std::get<0>(full), std::get<0>(two));
+  EXPECT_EQ(std::get<1>(full), std::get<1>(two));
+  // Distances are exact min-plus values: deterministic too.
+  EXPECT_EQ(std::get<2>(full), std::get<2>(two));
+}
+
+TEST(EndToEnd, HilbertOrderedGraphGivesSameResults) {
+  const auto el = graph::rmat(9, 8, 31);
+  graph::BuildOptions source_order;
+  graph::BuildOptions hilbert_order;
+  hilbert_order.coo_order = partition::EdgeOrder::kHilbert;
+  const Graph a = Graph::build(graph::EdgeList(el), source_order);
+  const Graph b = Graph::build(graph::EdgeList(el), hilbert_order);
+  Engine ea(a), eb(b);
+  EXPECT_EQ(algorithms::bfs(ea, 0).level, algorithms::bfs(eb, 0).level);
+  EXPECT_EQ(algorithms::connected_components(ea).labels,
+            algorithms::connected_components(eb).labels);
+}
+
+TEST(EndToEnd, PartitionCountDoesNotChangeResults) {
+  const auto el = graph::rmat(9, 8, 13);
+  for (part_t parts : {4u, 64u, 256u}) {
+    graph::BuildOptions b;
+    b.num_partitions = parts;
+    const Graph g = Graph::build(graph::EdgeList(el), b);
+    Engine eng(g);
+    const auto lv = algorithms::bfs(eng, 0).level;
+    const auto want = algorithms::bfs(eng, 0).level;  // re-run identical
+    EXPECT_EQ(lv, want);
+    static std::vector<std::int64_t> first;
+    if (first.empty()) first = lv;
+    EXPECT_EQ(lv, first) << "parts=" << parts;
+  }
+}
+
+TEST(EndToEnd, SymmetrizedSuiteGraphHasOneGiantComponent) {
+  auto el = graph::rmat(10, 16, 5);
+  el.symmetrize();
+  const Graph g = Graph::build(std::move(el));
+  Engine eng(g);
+  const auto cc = algorithms::connected_components(eng);
+  // Count vertices in the giant component (label of vertex with max degree).
+  vid_t giant = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    if (cc.labels[v] == cc.labels[0]) ++giant;
+  EXPECT_GT(giant, g.num_vertices() / 2);
+}
+
+TEST(EndToEnd, StatsReportMentionsUsedKernels) {
+  const Graph g = Graph::build(graph::rmat(9, 8, 3));
+  Engine eng(g);
+  algorithms::pagerank(eng, {.iterations = 2});
+  const std::string report = eng.stats_report();
+  EXPECT_NE(report.find("dense-coo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grind

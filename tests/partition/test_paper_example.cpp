@@ -1,0 +1,117 @@
+// Verifies the worked example of the paper's Fig 1 exactly: the CSR/CSC
+// arrays of the 6-vertex, 14-edge graph, the 2-way partition-by-destination
+// boundary, the per-partition layouts, and the 7/6 replication factor the
+// paper quotes in §II-D.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "partition/partitioned_coo.hpp"
+#include "partition/partitioned_csr.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/replication.hpp"
+
+namespace grind::partition {
+namespace {
+
+using graph::Adjacency;
+using graph::Csr;
+using graph::EdgeList;
+
+PartitionOptions unaligned_by_dst() {
+  PartitionOptions o;
+  o.by = PartitionBy::kDestination;
+  o.balance = BalanceMode::kEdges;
+  o.boundary_align = 1;  // the paper's example has no alignment constraint
+  return o;
+}
+
+TEST(PaperExample, CsrArraysMatchFigure1) {
+  const EdgeList el = graph::paper_example();
+  const Csr csr = Csr::build(el, Adjacency::kOut);
+
+  const std::vector<eid_t> want_offsets = {0, 5, 5, 6, 8, 9, 14};
+  const std::vector<vid_t> want_dests = {1, 2, 3, 4, 5, 4, 4,
+                                         5, 5, 0, 1, 2, 3, 4};
+  EXPECT_EQ(std::vector<eid_t>(csr.offsets().begin(), csr.offsets().end()),
+            want_offsets);
+  EXPECT_EQ(std::vector<vid_t>(csr.neighbors().begin(), csr.neighbors().end()),
+            want_dests);
+}
+
+TEST(PaperExample, CscArraysMatchFigure1) {
+  const EdgeList el = graph::paper_example();
+  const Csr csc = Csr::build(el, Adjacency::kIn);
+
+  const std::vector<eid_t> want_offsets = {0, 1, 3, 5, 7, 11, 14};
+  const std::vector<vid_t> want_sources = {5, 0, 5, 0, 5, 0, 5,
+                                           0, 2, 3, 5, 0, 3, 4};
+  EXPECT_EQ(std::vector<eid_t>(csc.offsets().begin(), csc.offsets().end()),
+            want_offsets);
+  EXPECT_EQ(std::vector<vid_t>(csc.neighbors().begin(), csc.neighbors().end()),
+            want_sources);
+}
+
+TEST(PaperExample, TwoWayPartitionBoundaryAtVertex4) {
+  // Algorithm 1 with P=2 and avg=7: partition 0 holds destinations {0..3}
+  // (7 in-edges), partition 1 holds {4,5} (7 in-edges) — as drawn in Fig 1.
+  const EdgeList el = graph::paper_example();
+  const Partitioning parts = make_partitioning(el, 2, unaligned_by_dst());
+  ASSERT_EQ(parts.num_partitions(), 2u);
+  EXPECT_EQ(parts.range(0), (VertexRange{0, 4}));
+  EXPECT_EQ(parts.range(1), (VertexRange{4, 6}));
+  EXPECT_EQ(parts.edges_in(0), 7u);
+  EXPECT_EQ(parts.edges_in(1), 7u);
+  EXPECT_EQ(parts.partition_of(3), 0u);
+  EXPECT_EQ(parts.partition_of(4), 1u);
+}
+
+TEST(PaperExample, PartitionedCsrMatchesFigure1) {
+  const EdgeList el = graph::paper_example();
+  const Partitioning parts = make_partitioning(el, 2, unaligned_by_dst());
+  const PartitionedCsr pc = PartitionedCsr::build(el, parts);
+
+  // Partition 0: sources {0, 5}; destinations [1 2 3 | 0 1 2 3].
+  const PrunedCsrPart& p0 = pc.part(0);
+  EXPECT_EQ(p0.vertex_ids, (std::vector<vid_t>{0, 5}));
+  EXPECT_EQ(p0.offsets, (std::vector<eid_t>{0, 3, 7}));
+  EXPECT_EQ(p0.targets, (std::vector<vid_t>{1, 2, 3, 0, 1, 2, 3}));
+
+  // Partition 1: sources {0, 2, 3, 4, 5}; destinations [4 5 | 4 | 4 5 | 5 | 4].
+  const PrunedCsrPart& p1 = pc.part(1);
+  EXPECT_EQ(p1.vertex_ids, (std::vector<vid_t>{0, 2, 3, 4, 5}));
+  EXPECT_EQ(p1.offsets, (std::vector<eid_t>{0, 2, 3, 5, 6, 7}));
+  EXPECT_EQ(p1.targets, (std::vector<vid_t>{4, 5, 4, 4, 5, 5, 4}));
+}
+
+TEST(PaperExample, ReplicationFactorIsSevenSixths) {
+  // §II-D: "the average replication factor is 7/6 (≈ 1.16) for the
+  // partitioned CSR layout".
+  const EdgeList el = graph::paper_example();
+  const Partitioning parts = make_partitioning(el, 2, unaligned_by_dst());
+  EXPECT_NEAR(replication_factor(el, parts), 7.0 / 6.0, 1e-12);
+
+  const PartitionedCsr pc = PartitionedCsr::build(el, parts);
+  EXPECT_EQ(pc.total_vertex_replicas(), 7u);
+}
+
+TEST(PaperExample, WorstCaseReplicationIsEdgesOverVertices) {
+  const EdgeList el = graph::paper_example();
+  EXPECT_NEAR(worst_case_replication(el), 14.0 / 6.0, 1e-12);
+}
+
+TEST(PaperExample, PartitionedCooHoldsSevenEdgesEach) {
+  const EdgeList el = graph::paper_example();
+  const Partitioning parts = make_partitioning(el, 2, unaligned_by_dst());
+  const PartitionedCoo coo = PartitionedCoo::build(el, parts);
+  ASSERT_EQ(coo.num_partitions(), 2u);
+  EXPECT_EQ(coo.edges(0).size(), 7u);
+  EXPECT_EQ(coo.edges(1).size(), 7u);
+  for (const Edge& e : coo.edges(0)) EXPECT_LT(e.dst, 4u);
+  for (const Edge& e : coo.edges(1)) EXPECT_GE(e.dst, 4u);
+}
+
+}  // namespace
+}  // namespace grind::partition

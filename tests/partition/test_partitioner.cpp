@@ -1,0 +1,155 @@
+// Property tests of make_partitioning across generators, sizes and partition
+// counts (TEST_P sweeps).
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+
+namespace grind::partition {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList graph_by_name(const std::string& name) {
+  if (name == "rmat") return graph::rmat(10, 8, 5);
+  if (name == "powerlaw") return graph::powerlaw(2000, 2.0, 8.0, 5);
+  if (name == "road") return graph::road_lattice(30, 40, 0.1, 5);
+  if (name == "star") return graph::star(4000);
+  return graph::cycle(1000);
+}
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, part_t>> {};
+
+TEST_P(PartitionerSweep, RangesAreContiguousDisjointAndCover) {
+  const auto [name, p] = GetParam();
+  const EdgeList el = graph_by_name(name);
+  const Partitioning parts = make_partitioning(el, p);
+  ASSERT_EQ(parts.num_partitions(), p);
+  vid_t cursor = 0;
+  for (part_t i = 0; i < p; ++i) {
+    EXPECT_EQ(parts.range(i).begin, cursor);
+    EXPECT_LE(parts.range(i).begin, parts.range(i).end);
+    cursor = parts.range(i).end;
+  }
+  EXPECT_EQ(cursor, el.num_vertices());
+}
+
+TEST_P(PartitionerSweep, BoundariesAreWordAligned) {
+  // Interior boundaries snap to 64-vertex multiples so two partitions never
+  // share a frontier-bitmap word.  A boundary equal to |V| is also safe:
+  // every later partition is empty, so the final word has a single writer.
+  const auto [name, p] = GetParam();
+  const EdgeList el = graph_by_name(name);
+  const Partitioning parts = make_partitioning(el, p);
+  for (part_t i = 0; i + 1 < p; ++i) {
+    const vid_t end = parts.range(i).end;
+    EXPECT_TRUE(end % 64 == 0 || end == el.num_vertices())
+        << "partition " << i << " boundary " << end;
+  }
+}
+
+TEST_P(PartitionerSweep, EdgeCountsPartitionTheEdgeSet) {
+  const auto [name, p] = GetParam();
+  const EdgeList el = graph_by_name(name);
+  const Partitioning parts = make_partitioning(el, p);
+  eid_t total = 0;
+  for (part_t i = 0; i < p; ++i) total += parts.edges_in(i);
+  EXPECT_EQ(total, el.num_edges());
+  // Cross-check per-partition counts against a direct scan.
+  std::vector<eid_t> direct(p, 0);
+  for (const Edge& e : el.edges()) ++direct[parts.partition_of(e.dst)];
+  for (part_t i = 0; i < p; ++i) EXPECT_EQ(parts.edges_in(i), direct[i]);
+}
+
+TEST_P(PartitionerSweep, PartitionOfAgreesWithRanges) {
+  const auto [name, p] = GetParam();
+  const EdgeList el = graph_by_name(name);
+  const Partitioning parts = make_partitioning(el, p);
+  for (vid_t v = 0; v < el.num_vertices(); v += 37) {
+    const part_t owner = parts.partition_of(v);
+    EXPECT_TRUE(parts.range(owner).contains(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndCounts, PartitionerSweep,
+    ::testing::Combine(::testing::Values("rmat", "powerlaw", "road", "star",
+                                         "cycle"),
+                       ::testing::Values<part_t>(1, 2, 4, 8, 16, 48, 128)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Partitioner, EdgeBalanceBeatsVertexBalanceOnSkewedGraphs) {
+  const EdgeList el = graph::rmat(12, 16, 9);
+  PartitionOptions eopts;
+  eopts.balance = BalanceMode::kEdges;
+  PartitionOptions vopts;
+  vopts.balance = BalanceMode::kVertices;
+  const auto eparts = make_partitioning(el, 16, eopts);
+  const auto vparts = make_partitioning(el, 16, vopts);
+  // Alignment can force hub-heavy blocks into one partition, so perfect
+  // balance is unattainable — but edge balancing must still dominate.
+  EXPECT_LT(eparts.edge_imbalance(), vparts.edge_imbalance());
+}
+
+TEST(Partitioner, VertexBalanceSplitsVerticesEvenly) {
+  const EdgeList el = graph::rmat(12, 8, 9);
+  PartitionOptions opts;
+  opts.balance = BalanceMode::kVertices;
+  const auto parts = make_partitioning(el, 8, opts);
+  const vid_t per = el.num_vertices() / 8;
+  for (part_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(static_cast<double>(parts.range(i).size()),
+                static_cast<double>(per), 64.0);
+}
+
+TEST(Partitioner, BySourceBalancesOutDegrees) {
+  const EdgeList el = graph::rmat(10, 8, 9);
+  PartitionOptions opts;
+  opts.by = PartitionBy::kSource;
+  const auto parts = make_partitioning(el, 8, opts);
+  std::vector<eid_t> direct(8, 0);
+  for (const Edge& e : el.edges()) ++direct[parts.partition_of(e.src)];
+  for (part_t i = 0; i < 8; ++i) EXPECT_EQ(parts.edges_in(i), direct[i]);
+}
+
+TEST(Partitioner, MorePartitionsThanAlignedSlotsLeavesEmptyTails) {
+  const EdgeList el = graph::cycle(128);  // 2 aligned slots of 64
+  const auto parts = make_partitioning(el, 8);
+  eid_t total = 0;
+  for (part_t i = 0; i < 8; ++i) total += parts.edges_in(i);
+  EXPECT_EQ(total, el.num_edges());
+  EXPECT_EQ(parts.num_vertices(), 128u);
+}
+
+TEST(Partitioner, SinglePartitionTakesEverything) {
+  const EdgeList el = graph::rmat(8, 4, 9);
+  const auto parts = make_partitioning(el, 1);
+  EXPECT_EQ(parts.range(0), (VertexRange{0, el.num_vertices()}));
+  EXPECT_EQ(parts.edges_in(0), el.num_edges());
+  EXPECT_DOUBLE_EQ(parts.edge_imbalance(), 1.0);
+}
+
+TEST(Partitioner, EmptyGraph) {
+  const auto parts = make_partitioning(EdgeList{}, 4);
+  EXPECT_EQ(parts.num_partitions(), 4u);
+  EXPECT_EQ(parts.num_vertices(), 0u);
+}
+
+TEST(Partitioner, FromDegreesMatchesFromEdgeList) {
+  const EdgeList el = graph::rmat(9, 6, 13);
+  const auto a = make_partitioning(el, 12);
+  const auto b = make_partitioning_from_degrees(el.in_degrees(), 12);
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  for (part_t i = 0; i < a.num_partitions(); ++i)
+    EXPECT_EQ(a.range(i), b.range(i));
+}
+
+}  // namespace
+}  // namespace grind::partition

@@ -1,0 +1,64 @@
+#include "sys/atomics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sys/parallel.hpp"
+
+namespace grind {
+namespace {
+
+TEST(AtomicCas, SucceedsExactlyWhenExpectedMatches) {
+  int x = 5;
+  EXPECT_FALSE(atomic_cas(x, 4, 9));
+  EXPECT_EQ(x, 5);
+  EXPECT_TRUE(atomic_cas(x, 5, 9));
+  EXPECT_EQ(x, 9);
+}
+
+TEST(AtomicAdd, ConcurrentDoubleSum) {
+  double sum = 0.0;
+  const std::size_t n = 100000;
+  parallel_for(0, n, [&](std::size_t) { atomic_add(sum, 1.0); });
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(n));
+}
+
+TEST(AtomicAdd, ConcurrentIntegerSum) {
+  std::uint64_t sum = 0;
+  const std::size_t n = 200000;
+  parallel_for(0, n, [&](std::size_t i) { atomic_add(sum, i); });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(AtomicWriteMin, KeepsMinimumUnderContention) {
+  double x = 1e18;
+  const std::size_t n = 100000;
+  parallel_for(0, n, [&](std::size_t i) {
+    atomic_write_min(x, static_cast<double>(i));
+  });
+  EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(AtomicWriteMin, ReturnsTrueOnlyWhenImproving) {
+  int x = 10;
+  EXPECT_TRUE(atomic_write_min(x, 5));
+  EXPECT_FALSE(atomic_write_min(x, 7));
+  EXPECT_FALSE(atomic_write_min(x, 5));
+  EXPECT_EQ(x, 5);
+}
+
+TEST(AtomicClaim, ExactlyOneWinner) {
+  const std::size_t flags_n = 1024;
+  std::vector<unsigned char> flags(flags_n, 0);
+  std::atomic<std::size_t> wins{0};
+  parallel_for(0, flags_n * 16, [&](std::size_t i) {
+    if (atomic_claim(flags[i % flags_n]))
+      wins.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(wins.load(), flags_n);
+}
+
+}  // namespace
+}  // namespace grind

@@ -1,0 +1,114 @@
+#include "sys/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sys/parallel.hpp"
+
+namespace grind {
+namespace {
+
+TEST(Bitmap, EmptyHasNoBits) {
+  Bitmap b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, SetGetClear) {
+  Bitmap b(130);
+  EXPECT_FALSE(b.get(0));
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(63));
+  EXPECT_TRUE(b.get(64));
+  EXPECT_TRUE(b.get(129));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_FALSE(b.get(128));
+  EXPECT_EQ(b.count(), 4u);
+  b.clear_bit(63);
+  EXPECT_FALSE(b.get(63));
+  EXPECT_EQ(b.count(), 3u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, SetAllRespectsTail) {
+  // size not a multiple of 64: count must not include phantom tail bits.
+  for (std::size_t n : {1u, 63u, 64u, 65u, 100u, 1000u}) {
+    Bitmap b(n);
+    b.set_all();
+    EXPECT_EQ(b.count(), n) << "n=" << n;
+  }
+}
+
+TEST(Bitmap, CountRangeWordAligned) {
+  Bitmap b(256);
+  for (std::size_t i = 0; i < 256; i += 2) b.set(i);
+  EXPECT_EQ(b.count_range(0, 64), 32u);
+  EXPECT_EQ(b.count_range(64, 256), 96u);
+}
+
+TEST(Bitmap, ForEachSetVisitsExactlySetBits) {
+  Bitmap b(300);
+  std::vector<std::size_t> want = {0, 1, 63, 64, 65, 128, 299};
+  for (auto i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bitmap, AtomicSetReturnsTrueOnlyOnce) {
+  Bitmap b(128);
+  EXPECT_TRUE(b.set_atomic(77));
+  EXPECT_FALSE(b.set_atomic(77));
+  EXPECT_TRUE(b.get(77));
+}
+
+TEST(Bitmap, ConcurrentAtomicSetsAllLand) {
+  const std::size_t n = 1 << 16;
+  Bitmap b(n);
+  parallel_for(0, n, [&](std::size_t i) { b.set_atomic(i); });
+  EXPECT_EQ(b.count(), n);
+}
+
+TEST(Bitmap, EqualityComparesContent) {
+  Bitmap a(100), b(100);
+  a.set(7);
+  EXPECT_FALSE(a == b);
+  b.set(7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AtomicBitmap, SetReturnsClaim) {
+  AtomicBitmap b(200);
+  EXPECT_TRUE(b.set(5));
+  EXPECT_FALSE(b.set(5));
+  EXPECT_TRUE(b.get(5));
+  EXPECT_EQ(b.count(), 1u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(AtomicBitmap, ParallelClaimsAreExclusive) {
+  const std::size_t n = 1 << 14;
+  AtomicBitmap b(n);
+  std::atomic<std::size_t> claims{0};
+  parallel_for(0, n * 4, [&](std::size_t i) {
+    if (b.set(i % n)) claims.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(claims.load(), n);  // each bit claimed exactly once
+}
+
+TEST(BitmapWords, WordCountFormula) {
+  EXPECT_EQ(bitmap_words(0), 0u);
+  EXPECT_EQ(bitmap_words(1), 1u);
+  EXPECT_EQ(bitmap_words(64), 1u);
+  EXPECT_EQ(bitmap_words(65), 2u);
+}
+
+}  // namespace
+}  // namespace grind

@@ -1,0 +1,114 @@
+// Timer, Samples, Table, env helpers and VertexRange.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "sys/env.hpp"
+#include "sys/stats.hpp"
+#include "sys/table.hpp"
+#include "sys/timer.hpp"
+#include "sys/types.hpp"
+
+namespace grind {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(AccumTimer, AccumulatesAcrossSections) {
+  AccumTimer t;
+  t.add(0.5);
+  t.add(0.25);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.75);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(Samples, Statistics) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Samples, EmptyAndSingle) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(TimeRounds, RunsRequestedRepetitions) {
+  int calls = 0;
+  const Samples s = time_rounds([&] { ++calls; }, 3, 2);
+  EXPECT_EQ(calls, 5);  // 2 warmup + 3 timed
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Table, AlignedTextOutput) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  std::ostringstream os;
+  os << t;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Env, ParsesWithFallbacks) {
+  ::setenv("GRIND_TEST_INT", "17", 1);
+  ::setenv("GRIND_TEST_DBL", "2.5", 1);
+  ::setenv("GRIND_TEST_STR", "abc", 1);
+  ::setenv("GRIND_TEST_BAD", "xyz", 1);
+  EXPECT_EQ(env_int("GRIND_TEST_INT", 1), 17);
+  EXPECT_DOUBLE_EQ(env_double("GRIND_TEST_DBL", 0.0), 2.5);
+  EXPECT_EQ(env_string("GRIND_TEST_STR", "z"), "abc");
+  EXPECT_EQ(env_int("GRIND_TEST_BAD", 5), 5);
+  EXPECT_EQ(env_int("GRIND_TEST_UNSET_XYZ", 9), 9);
+}
+
+TEST(VertexRange, BasicPredicates) {
+  constexpr VertexRange r{10, 20};
+  static_assert(r.size() == 10);
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));
+  EXPECT_FALSE(r.contains(9));
+  constexpr VertexRange e{5, 5};
+  static_assert(e.empty());
+}
+
+}  // namespace
+}  // namespace grind

@@ -1,0 +1,69 @@
+#include "sys/numa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace grind {
+namespace {
+
+TEST(NumaModel, AdmissiblePartitionsRoundsUpToDomainMultiple) {
+  NumaModel numa(4);
+  EXPECT_EQ(numa.admissible_partitions(0), 4u);
+  EXPECT_EQ(numa.admissible_partitions(1), 4u);
+  EXPECT_EQ(numa.admissible_partitions(4), 4u);
+  EXPECT_EQ(numa.admissible_partitions(5), 8u);
+  EXPECT_EQ(numa.admissible_partitions(384), 384u);
+  EXPECT_EQ(numa.admissible_partitions(383), 384u);
+}
+
+TEST(NumaModel, PartitionsBlockDistributedEvenly) {
+  NumaModel numa(4);
+  const part_t total = 16;
+  std::vector<int> per_domain(4, 0);
+  for (part_t p = 0; p < total; ++p) {
+    const int d = numa.domain_of_partition(p, total);
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 4);
+    ++per_domain[d];
+  }
+  for (int c : per_domain) EXPECT_EQ(c, 4);
+  // Block distribution: first quarter on domain 0.
+  EXPECT_EQ(numa.domain_of_partition(0, total), 0);
+  EXPECT_EQ(numa.domain_of_partition(3, total), 0);
+  EXPECT_EQ(numa.domain_of_partition(4, total), 1);
+  EXPECT_EQ(numa.domain_of_partition(15, total), 3);
+}
+
+TEST(NumaModel, ThreadsSpreadUniformly) {
+  NumaModel numa(4);
+  std::vector<int> per_domain(4, 0);
+  for (int t = 0; t < 48; ++t) ++per_domain[numa.domain_of_thread(t, 48)];
+  for (int c : per_domain) EXPECT_EQ(c, 12);
+}
+
+TEST(NumaModel, VisitOrderIsPermutationWithHomeFirst) {
+  NumaModel numa(4);
+  const part_t total = 12;
+  const auto order = numa.visit_order(/*thread=*/1, /*total_threads=*/8, total);
+  ASSERT_EQ(order.size(), total);
+  std::vector<part_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (part_t p = 0; p < total; ++p) EXPECT_EQ(sorted[p], p);
+  // Thread 1's home domain is 1; its partitions (3..5) come first.
+  const int home = numa.domain_of_thread(1, 8);
+  const part_t per = (total + 3) / 4;
+  for (part_t i = 0; i < per; ++i)
+    EXPECT_EQ(numa.domain_of_partition(order[i], total), home);
+}
+
+TEST(NumaModel, SingleDomainDegeneratesGracefully) {
+  NumaModel numa(1);
+  EXPECT_EQ(numa.admissible_partitions(7), 7u);
+  EXPECT_EQ(numa.domain_of_partition(3, 8), 0);
+  EXPECT_EQ(numa.domain_of_thread(5, 8), 0);
+}
+
+}  // namespace
+}  // namespace grind

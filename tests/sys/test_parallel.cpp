@@ -1,0 +1,118 @@
+#include "sys/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "sys/rng.hpp"
+
+namespace grind {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(3, 4, [&](std::size_t i) { EXPECT_EQ(i, 3u); ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelForDynamic, VisitsEveryIndex) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_dynamic(0, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  const std::size_t n = 123457;
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(1);
+  for (auto& x : v) x = rng.next_below(1000);
+  const auto serial = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  const auto parallel = parallel_reduce_sum<std::uint64_t>(
+      0, n, [&](std::size_t i) { return v[i]; });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelReduce, MaxMatchesSerial) {
+  const std::size_t n = 54321;
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(7);
+  for (auto& x : v) x = rng.next();
+  const auto serial = *std::max_element(v.begin(), v.end());
+  const auto parallel = parallel_reduce_max<std::uint64_t>(
+      0, n, 0, [&](std::size_t i) { return v[i]; });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ExclusiveScan, MatchesSerialPrefixSums) {
+  for (std::size_t n : {0u, 1u, 5u, 1000u, 100000u}) {
+    std::vector<std::uint64_t> in(n), out, want(n);
+    Xoshiro256 rng(n);
+    for (auto& x : in) x = rng.next_below(100);
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] = run;
+      run += in[i];
+    }
+    const auto total = exclusive_scan(in, out);
+    EXPECT_EQ(out, want) << "n=" << n;
+    EXPECT_EQ(total, run) << "n=" << n;
+  }
+}
+
+TEST(ExclusiveScan, InPlaceAliasing) {
+  std::vector<std::uint64_t> v(50000, 1);
+  const auto total = exclusive_scan(v.data(), v.data(), v.size());
+  EXPECT_EQ(total, 50000u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(ParallelSort, SortsLargeRandomInput) {
+  const std::size_t n = 1 << 17;
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(3);
+  for (auto& x : v) x = rng.next();
+  auto want = v;
+  std::sort(want.begin(), want.end());
+  parallel_sort(v.begin(), v.end());
+  EXPECT_EQ(v, want);
+}
+
+TEST(ParallelSort, CustomComparator) {
+  std::vector<int> v = {5, 3, 9, 1, 1, 7};
+  parallel_sort(v.begin(), v.end(), std::greater<>{});
+  EXPECT_EQ(v, (std::vector<int>{9, 7, 5, 3, 1, 1}));
+}
+
+TEST(ThreadCountGuard, RestoresPreviousValue) {
+  const int before = num_threads();
+  {
+    ThreadCountGuard guard(1);
+    EXPECT_EQ(num_threads(), 1);
+  }
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(ParallelFill, FillsEveryElement) {
+  std::vector<double> v(100000, 0.0);
+  parallel_fill(v, 2.5);
+  for (double x : v) ASSERT_EQ(x, 2.5);
+}
+
+}  // namespace
+}  // namespace grind

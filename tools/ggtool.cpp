@@ -1,0 +1,255 @@
+// ggtool — command-line front end to the library.
+//
+//   ggtool generate <rmat|powerlaw|road> <out.bin> [scale|n] [ef|deg] [seed]
+//   ggtool convert  <in(.txt|.bin)> <out(.txt|.bin)>
+//   ggtool stats    <graph>
+//   ggtool partition-report <graph> <partitions>
+//   ggtool run      <BC|CC|PR|BFS|PRDelta|SPMV|BF|BP> <graph>
+//                   [--partitions N] [--layout auto|csc|coo|pcsr]
+//                   [--source V] [--threads T] [--no-atomics]
+//
+// Graph files: SNAP text edge lists (.txt/.el) or this library's binary
+// format (.bin).  Exit code 0 on success, 1 on usage errors, 2 on runtime
+// failures.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/belief_propagation.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/spmv.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "partition/replication.hpp"
+#include "partition/storage_model.hpp"
+#include "sys/parallel.hpp"
+#include "sys/table.hpp"
+#include "sys/timer.hpp"
+
+using namespace grind;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+graph::EdgeList load_any(const std::string& path) {
+  if (ends_with(path, ".bin")) return graph::load_binary(path);
+  return graph::load_snap(path);
+}
+
+void save_any(const graph::EdgeList& el, const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    graph::save_binary(el, path);
+  } else {
+    graph::save_snap(el, path);
+  }
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  ggtool generate <rmat|powerlaw|road> <out> [scale|n] [ef|deg] "
+         "[seed]\n"
+         "  ggtool convert <in> <out>\n"
+         "  ggtool stats <graph>\n"
+         "  ggtool partition-report <graph> <partitions>\n"
+         "  ggtool run <algo> <graph> [--partitions N] [--layout L] "
+         "[--source V] [--threads T] [--no-atomics]\n";
+  return 1;
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string kind = args[0];
+  const std::string out = args[1];
+  const long a3 = args.size() > 2 ? std::stol(args[2]) : 0;
+  const long a4 = args.size() > 3 ? std::stol(args[3]) : 0;
+  const std::uint64_t seed =
+      args.size() > 4 ? std::stoull(args[4]) : 42;
+
+  graph::EdgeList el;
+  if (kind == "rmat") {
+    el = graph::rmat(a3 > 0 ? static_cast<int>(a3) : 16,
+                     a4 > 0 ? static_cast<eid_t>(a4) : 16, seed);
+  } else if (kind == "powerlaw") {
+    el = graph::powerlaw(a3 > 0 ? static_cast<vid_t>(a3) : 100000, 2.0,
+                         a4 > 0 ? static_cast<double>(a4) : 15.0, seed);
+  } else if (kind == "road") {
+    const auto side = a3 > 0 ? static_cast<vid_t>(a3) : 256;
+    el = graph::road_lattice(side, side, 0.05, seed);
+  } else {
+    return usage();
+  }
+  save_any(el, out);
+  std::cout << "wrote " << el.num_vertices() << " vertices / "
+            << el.num_edges() << " edges to " << out << "\n";
+  return 0;
+}
+
+int cmd_stats(const std::string& path) {
+  const auto el = load_any(path);
+  const auto out = el.out_degrees();
+  const auto in = el.in_degrees();
+  Table t("graph statistics: " + path);
+  t.header({"metric", "value"});
+  t.row({"vertices", Table::num(std::size_t{el.num_vertices()})});
+  t.row({"edges", Table::num(std::size_t{el.num_edges()})});
+  t.row({"avg degree", Table::num(static_cast<double>(el.num_edges()) /
+                                      std::max<double>(1, el.num_vertices()),
+                                  2)});
+  t.row({"max out-degree",
+         Table::num(std::size_t{*std::max_element(out.begin(), out.end())})});
+  t.row({"max in-degree",
+         Table::num(std::size_t{*std::max_element(in.begin(), in.end())})});
+  std::size_t zero_out = 0;
+  for (eid_t d : out) zero_out += d == 0 ? 1 : 0;
+  t.row({"zero-out-degree vertices", Table::num(zero_out)});
+  std::cout << t;
+  return 0;
+}
+
+int cmd_partition_report(const std::string& path, part_t parts) {
+  const auto el = load_any(path);
+  const auto partitioning = partition::make_partitioning(el, parts);
+  const double r = partition::replication_factor(el, partitioning);
+
+  partition::StorageInputs in;
+  in.num_vertices = el.num_vertices();
+  in.num_edges = el.num_edges();
+
+  Table t("partition report: " + path + " at P=" + std::to_string(parts));
+  t.header({"metric", "value"});
+  t.row({"edge imbalance (max/mean)",
+         Table::num(partitioning.edge_imbalance(), 3)});
+  t.row({"replication factor r(p)", Table::num(r, 3)});
+  t.row({"worst-case r", Table::num(partition::worst_case_replication(el), 2)});
+  t.row({"storage COO [MiB]",
+         Table::num(partition::storage_coo(in) / 1048576.0, 1)});
+  t.row({"storage CSR pruned [MiB]",
+         Table::num(partition::storage_csr_pruned(in, r) / 1048576.0, 1)});
+  t.row({"storage CSR unpruned [MiB]",
+         Table::num(partition::storage_csr_unpruned(in, parts) / 1048576.0,
+                    1)});
+  t.row({"storage GG-v2 composite [MiB]",
+         Table::num(partition::storage_graphgrind_v2(in) / 1048576.0, 1)});
+  std::cout << t;
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string algo = args[0];
+  const std::string path = args[1];
+
+  graph::BuildOptions bopts;
+  engine::Options eopts;
+  vid_t source = kInvalidVertex;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : throw std::invalid_argument(a);
+    };
+    if (a == "--partitions") {
+      bopts.num_partitions = static_cast<part_t>(std::stoul(next()));
+    } else if (a == "--layout") {
+      const std::string l = next();
+      if (l == "auto") eopts.layout = engine::Layout::kAuto;
+      else if (l == "csc") eopts.layout = engine::Layout::kBackwardCsc;
+      else if (l == "coo") eopts.layout = engine::Layout::kDenseCoo;
+      else if (l == "pcsr") eopts.layout = engine::Layout::kPartitionedCsr;
+      else return usage();
+    } else if (a == "--source") {
+      source = static_cast<vid_t>(std::stoul(next()));
+    } else if (a == "--threads") {
+      set_num_threads(std::stoi(next()));
+    } else if (a == "--no-atomics") {
+      eopts.atomics = engine::AtomicsMode::kForceOff;
+    } else {
+      return usage();
+    }
+  }
+  bopts.build_partitioned_csr =
+      eopts.layout == engine::Layout::kPartitionedCsr;
+
+  auto el = load_any(path);
+  Timer build_timer;
+  const auto g = graph::Graph::build(std::move(el), bopts);
+  const double build_s = build_timer.seconds();
+
+  if (source == kInvalidVertex) {
+    source = 0;
+    for (vid_t v = 1; v < g.num_vertices(); ++v)
+      if (g.out_degree(v) > g.out_degree(source)) source = v;
+  }
+
+  engine::Engine eng(g, eopts);
+  Timer run_timer;
+  if (algo == "BC") {
+    algorithms::betweenness_centrality(eng, source);
+  } else if (algo == "CC") {
+    const auto r = algorithms::connected_components(eng);
+    std::cout << "components: " << r.num_components << "\n";
+  } else if (algo == "PR") {
+    algorithms::pagerank(eng);
+  } else if (algo == "BFS") {
+    const auto r = algorithms::bfs(eng, source);
+    std::cout << "reached: " << r.reached << "\n";
+  } else if (algo == "PRDelta") {
+    const auto r = algorithms::pagerank_delta(eng);
+    std::cout << "rounds: " << r.rounds << " (" << r.dense_rounds << " dense/"
+              << r.medium_rounds << " medium/" << r.sparse_rounds
+              << " sparse)\n";
+  } else if (algo == "SPMV") {
+    algorithms::spmv(eng);
+  } else if (algo == "BF") {
+    algorithms::bellman_ford(eng, source);
+  } else if (algo == "BP") {
+    algorithms::belief_propagation(eng);
+  } else {
+    return usage();
+  }
+  std::cout << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges, " << g.partitioning_edges().num_partitions()
+            << " partitions (built in " << Table::num(build_s, 3) << " s)\n"
+            << algo << " completed in " << Table::num(run_timer.seconds(), 4)
+            << " s with " << num_threads() << " threads\n"
+            << eng.stats_report();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    const std::string cmd = args[0];
+    args.erase(args.begin());
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "convert" && args.size() == 2) {
+      save_any(load_any(args[0]), args[1]);
+      return 0;
+    }
+    if (cmd == "stats" && args.size() == 1) return cmd_stats(args[0]);
+    if (cmd == "partition-report" && args.size() == 2)
+      return cmd_partition_report(args[0],
+                                  static_cast<part_t>(std::stoul(args[1])));
+    if (cmd == "run") return cmd_run(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
