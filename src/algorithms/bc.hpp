@@ -115,13 +115,22 @@ BcResult betweenness_centrality(Eng& eng, vid_t source) {
   levels.pop_back();  // drop the final empty frontier
 
   // Reverse sweep: for ℓ = max-1 … 0, vertices at ℓ+1 push to level ℓ.
+  // Each level's frontier is recycled as soon as the sweep is done with it:
+  // the forward pass pinned one bitmap per level, so returning them keeps
+  // the workspace pool warm for the transpose kernels' output frontiers.
   for (std::size_t l = levels.size(); l-- > 1;) {
     detail::BcBackwardOp op{r.sigma.data(), r.dependency.data(),
                             r.level.data(),
                             static_cast<std::int64_t>(l) - 1};
-    eng.edge_map_transpose(levels[l], op);
+    Frontier out = eng.edge_map_transpose(levels[l], op);
     ++r.rounds;
+    if constexpr (requires { eng.recycle(out); }) {
+      eng.recycle(out);
+      eng.recycle(levels[l]);
+    }
   }
+  // Levels 1..max were recycled in the sweep; only the source level remains.
+  if constexpr (requires { eng.recycle(levels[0]); }) eng.recycle(levels[0]);
 
   eng.set_orientation(saved);
   return r;

@@ -100,12 +100,16 @@ BeliefPropagationResult belief_propagation(Eng& eng,
 
   std::vector<double> acc0(n, 0.0), acc1(n, 0.0);
 
+  // One full frontier for the whole run (BP always processes every edge).
+  Frontier all = Frontier::all(n, &g.csr());
+
   for (int it = 0; it < opts.iterations; ++it) {
     parallel_for(0, n, [&](std::size_t v) { acc0[v] = acc1[v] = 0.0; });
 
-    Frontier all = Frontier::all(n, &g.csr());
-    eng.edge_map(all, detail::BpOp{r.belief0.data(), acc0.data(), acc1.data(),
-                                   opts.q_base, opts.q_scale});
+    Frontier out =
+        eng.edge_map(all, detail::BpOp{r.belief0.data(), acc0.data(),
+                                       acc1.data(), opts.q_base, opts.q_scale});
+    if constexpr (requires { eng.recycle(out); }) eng.recycle(out);
 
     parallel_for(0, n, [&](std::size_t v) {
       const double u0 = std::log(prior0[v]) + acc0[v];

@@ -73,6 +73,7 @@ BellmanFordResult bellman_ford(Eng& eng, vid_t source) {
         eng.edge_map(frontier, detail::BfOp{r.dist.data(), claimed.data()});
     ++r.rounds;
     engine::vertex_foreach(next, [&](vid_t v) { claimed[v] = 0; });
+    if constexpr (requires { eng.recycle(frontier); }) eng.recycle(frontier);
     frontier = std::move(next);
   }
 

@@ -84,6 +84,10 @@ BfsResult bfs(Eng& eng, vid_t source) {
     ++r.rounds;
     engine::vertex_foreach(next, [&](vid_t v) { r.level[v] = depth; });
     r.reached += next.num_active();
+    // Retire the outgoing frontier into the engine's workspace so its
+    // bitmap/list storage ping-pongs with the next level instead of being
+    // freed and re-allocated.
+    if constexpr (requires { eng.recycle(frontier); }) eng.recycle(frontier);
     frontier = std::move(next);
   }
 

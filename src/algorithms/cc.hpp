@@ -75,6 +75,7 @@ CcResult connected_components(Eng& eng) {
     ++r.rounds;
     // Reset claim flags for exactly the vertices that entered the frontier.
     engine::vertex_foreach(next, [&](vid_t v) { claimed[v] = 0; });
+    if constexpr (requires { eng.recycle(frontier); }) eng.recycle(frontier);
     frontier = std::move(next);
   }
 

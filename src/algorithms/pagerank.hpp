@@ -62,6 +62,10 @@ PageRankResult pagerank(Eng& eng, PageRankOptions opts = {}) {
   std::vector<double> acc(n, 0.0);
   const double base = (1.0 - opts.damping) / static_cast<double>(n);
 
+  // One full frontier for the whole run: PR's frontier never changes, so
+  // rebuilding (and re-allocating) it per iteration is pure overhead.
+  Frontier all = Frontier::all(n, &g.csr());
+
   for (int it = 0; it < opts.iterations; ++it) {
     parallel_for(0, n, [&](std::size_t v) {
       const eid_t deg = g.out_degree(static_cast<vid_t>(v));
@@ -69,8 +73,8 @@ PageRankResult pagerank(Eng& eng, PageRankOptions opts = {}) {
       acc[v] = 0.0;
     });
 
-    Frontier all = Frontier::all(n, &g.csr());
-    eng.edge_map(all, detail::PrOp{contrib.data(), acc.data()});
+    Frontier next = eng.edge_map(all, detail::PrOp{contrib.data(), acc.data()});
+    if constexpr (requires { eng.recycle(next); }) eng.recycle(next);
 
     parallel_for(0, n, [&](std::size_t v) {
       r.rank[v] = base + opts.damping * acc[v];

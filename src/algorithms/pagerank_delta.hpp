@@ -122,6 +122,10 @@ PageRankDeltaResult pagerank_delta(Eng& eng, PageRankDeltaOptions opts = {}) {
       r.rank[v] += dv;
       return std::fabs(dv) > threshold;
     });
+    if constexpr (requires { eng.recycle(frontier); }) {
+      eng.recycle(frontier);
+      eng.recycle(received);
+    }
     frontier = std::move(next);
   }
   return r;

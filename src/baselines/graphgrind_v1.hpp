@@ -43,7 +43,7 @@ class GraphGrindV1Engine {
     eid_t edges = 0;
     if (ligra_is_dense(f.traversal_weight(), g_->num_edges()))
       return dense_backward_chunked(*g_, f, op, backward_chunks_);
-    return engine::traverse_csr_sparse(*g_, f, op, &edges);
+    return engine::traverse_csr_sparse(*g_, f, op, &edges, &ws_);
   }
 
   template <engine::EdgeOperator Op>
@@ -54,7 +54,7 @@ class GraphGrindV1Engine {
     eid_t edges = 0;
     if (ligra_is_dense(weigh.traversal_weight(), g_->num_edges()))
       return dense_transpose_chunked(*g_, f, op, forward_chunks_);
-    return engine::traverse_transpose_sparse(*g_, f, op, &edges);
+    return engine::traverse_transpose_sparse(*g_, f, op, &edges, &ws_);
   }
 
   template <typename Fn>
@@ -67,6 +67,7 @@ class GraphGrindV1Engine {
   std::vector<VertexChunk> backward_chunks_;  // edge-balanced over CSC
   std::vector<VertexChunk> forward_chunks_;   // edge-balanced over CSR
   engine::Orientation orientation_ = engine::Orientation::kEdge;
+  engine::TraversalWorkspace ws_;  // reusable sparse-kernel scratch
 };
 
 }  // namespace grind::baselines

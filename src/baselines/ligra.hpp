@@ -41,7 +41,7 @@ class LigraEngine {
     eid_t edges = 0;
     if (ligra_is_dense(f.traversal_weight(), g_->num_edges()))
       return dense_backward_chunked(*g_, f, op, chunks_);
-    return engine::traverse_csr_sparse(*g_, f, op, &edges);
+    return engine::traverse_csr_sparse(*g_, f, op, &edges, &ws_);
   }
 
   template <engine::EdgeOperator Op>
@@ -53,7 +53,7 @@ class LigraEngine {
     eid_t edges = 0;
     if (ligra_is_dense(weigh.traversal_weight(), g_->num_edges()))
       return dense_transpose_chunked(*g_, f, op, chunks_);
-    return engine::traverse_transpose_sparse(*g_, f, op, &edges);
+    return engine::traverse_transpose_sparse(*g_, f, op, &edges, &ws_);
   }
 
   template <typename Fn>
@@ -68,6 +68,7 @@ class LigraEngine {
   const graph::Graph* g_;
   std::vector<VertexChunk> chunks_;
   engine::Orientation orientation_ = engine::Orientation::kEdge;
+  engine::TraversalWorkspace ws_;  // reusable sparse-kernel scratch
 };
 
 }  // namespace grind::baselines

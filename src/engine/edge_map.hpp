@@ -21,6 +21,7 @@
 #include "engine/traverse_csc.hpp"
 #include "engine/traverse_csr.hpp"
 #include "engine/traverse_pcsr.hpp"
+#include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 #include "sys/parallel.hpp"
@@ -77,9 +78,16 @@ inline bool decide_atomics(const graph::Graph& g, const Options& opts) {
 /// `f` is taken by mutable reference because the engine may convert its
 /// representation (sparse list ↔ bitmap) in place; its logical content is
 /// unchanged.
+///
+/// `ws`, when non-null, supplies all transient kernel state (next-frontier
+/// bitmap, per-thread buffers, edge counters) from reusable pools so that
+/// steady-state iterations of a traversal loop perform no heap allocation.
+/// With ws == nullptr every call allocates fresh scratch, matching the
+/// historical behaviour.
 template <EdgeOperator Op>
 Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
-                  const Options& opts = {}, TraversalStats* stats = nullptr) {
+                  const Options& opts = {}, TraversalStats* stats = nullptr,
+                  TraversalWorkspace* ws = nullptr) {
   if (f.empty()) return Frontier::empty(g.num_vertices());
 
   const TraversalKind kind =
@@ -92,7 +100,7 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
   bool used_atomics = false;
   switch (kind) {
     case TraversalKind::kSparseCsr:
-      out = traverse_csr_sparse(g, f, op, &edges);
+      out = traverse_csr_sparse(g, f, op, &edges, ws);
       used_atomics = true;  // sparse forward inherently uses update_atomic
       break;
     case TraversalKind::kBackwardCsc: {
@@ -100,16 +108,16 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
           opts.csc_balance == partition::BalanceMode::kVertices
               ? g.partitioning_vertices()
               : g.partitioning_edges();
-      out = traverse_csc_backward(g, f, op, ranges, &edges);
+      out = traverse_csc_backward(g, f, op, ranges, &edges, ws);
       used_atomics = false;  // backward is single-writer by construction
       break;
     }
     case TraversalKind::kDenseCoo:
-      out = traverse_coo(g, f, op, atomics, &edges);
+      out = traverse_coo(g, f, op, atomics, &edges, ws);
       used_atomics = atomics;
       break;
     case TraversalKind::kPartitionedCsr:
-      out = traverse_partitioned_csr(g, f, op, atomics, &edges);
+      out = traverse_partitioned_csr(g, f, op, atomics, &edges, ws);
       used_atomics = atomics;
       break;
   }

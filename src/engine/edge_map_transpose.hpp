@@ -19,6 +19,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "engine/edge_map.hpp"
@@ -35,13 +36,22 @@ namespace grind::engine {
 /// Sparse transpose traversal: for active u, edges (v, u) deliver u→v.
 template <EdgeOperator Op>
 Frontier traverse_transpose_sparse(const graph::Graph& g, Frontier& f, Op& op,
-                                   eid_t* edges_examined) {
-  f.to_sparse();
+                                   eid_t* edges_examined,
+                                   TraversalWorkspace* ws = nullptr) {
+  f.to_sparse(ws);
   const auto& csc = g.csc();
   const auto verts = f.vertices();
   const int nt = num_threads();
-  std::vector<std::vector<vid_t>> buffers(static_cast<std::size_t>(nt));
-  std::vector<eid_t> edge_counts(static_cast<std::size_t>(nt), 0);
+  std::vector<std::vector<vid_t>> local_buffers;
+  std::vector<std::vector<vid_t>>& buffers =
+      ws != nullptr ? ws->thread_buffers(static_cast<std::size_t>(nt))
+                    : local_buffers;
+  if (ws == nullptr) local_buffers.resize(static_cast<std::size_t>(nt));
+  std::vector<eid_t> local_counts;
+  std::vector<eid_t>& edge_counts =
+      ws != nullptr ? ws->edge_counters(static_cast<std::size_t>(nt))
+                    : local_counts;
+  if (ws == nullptr) local_counts.assign(static_cast<std::size_t>(nt), 0);
 
 #pragma omp parallel num_threads(nt)
   {
@@ -52,22 +62,29 @@ Frontier traverse_transpose_sparse(const graph::Graph& g, Frontier& f, Op& op,
     for (std::size_t i = 0; i < verts.size(); ++i) {
       const vid_t u = verts[i];
       const auto neigh = csc.neighbors(u);  // original in-neighbors of u
-      const auto ws = csc.weights(u);
+      const auto wts = csc.weights(u);
       local_edges += neigh.size();
       for (std::size_t j = 0; j < neigh.size(); ++j) {
         const vid_t v = neigh[j];
-        if (op.cond(v) && op.update_atomic(u, v, ws[j])) buf.push_back(v);
+        if (op.cond(v) && op.update_atomic(u, v, wts[j])) buf.push_back(v);
       }
     }
     edge_counts[t] = local_edges;
   }
   if (edges_examined != nullptr) {
     eid_t total = 0;
-    for (eid_t c : edge_counts) total += c;
+    for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t)
+      total += edge_counts[t];
     *edges_examined = total;
   }
-  std::vector<vid_t> next;
-  for (auto& b : buffers) next.insert(next.end(), b.begin(), b.end());
+  std::size_t total_active = 0;
+  for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t)
+    total_active += buffers[t].size();
+  std::vector<vid_t> next =
+      ws != nullptr ? ws->acquire_vertex_list() : std::vector<vid_t>{};
+  next.reserve(total_active);
+  for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t)
+    next.insert(next.end(), buffers[t].begin(), buffers[t].end());
   return Frontier::from_vertices(g.num_vertices(), std::move(next), &g.csc());
 }
 
@@ -77,13 +94,19 @@ template <EdgeOperator Op>
 Frontier traverse_transpose_backward(const graph::Graph& g, Frontier& f,
                                      Op& op,
                                      const partition::Partitioning& ranges,
-                                     eid_t* edges_examined) {
-  f.to_dense();
+                                     eid_t* edges_examined,
+                                     TraversalWorkspace* ws = nullptr) {
+  f.to_dense(ws);
   const auto& csr = g.csr();
   const Bitmap& in = f.bitmap();
-  Bitmap next(g.num_vertices());
-  const std::vector<VertexRange> chunks = csc_sub_chunks(ranges);
-  std::vector<eid_t> edge_counts(chunks.size(), 0);
+  Bitmap next =
+      ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
+  const std::vector<VertexRange>& chunks = ranges.sub_chunks();
+  std::vector<eid_t> local_counts;
+  std::vector<eid_t>& edge_counts = ws != nullptr
+                                        ? ws->edge_counters(chunks.size())
+                                        : local_counts;
+  if (ws == nullptr) local_counts.assign(chunks.size(), 0);
 
   parallel_for_dynamic(0, chunks.size(), [&](std::size_t p) {
     const VertexRange r = chunks[p];
@@ -91,12 +114,12 @@ Frontier traverse_transpose_backward(const graph::Graph& g, Frontier& f,
     for (vid_t v = r.begin; v < r.end; ++v) {
       if (!op.cond(v)) continue;
       const auto neigh = csr.neighbors(v);
-      const auto ws = csr.weights(v);
+      const auto wts = csr.weights(v);
       for (std::size_t j = 0; j < neigh.size(); ++j) {
         ++local_edges;
         const vid_t u = neigh[j];
         if (!in.get(u)) continue;
-        if (op.update(u, v, ws[j])) next.set(v);
+        if (op.update(u, v, wts[j])) next.set(v);
         if (!op.cond(v)) break;
       }
     }
@@ -117,11 +140,13 @@ Frontier traverse_transpose_backward(const graph::Graph& g, Frontier& f,
 /// which are *reader* ranges here).
 template <EdgeOperator Op>
 Frontier traverse_transpose_coo(const graph::Graph& g, Frontier& f, Op& op,
-                                eid_t* edges_examined) {
-  f.to_dense();
+                                eid_t* edges_examined,
+                                TraversalWorkspace* ws = nullptr) {
+  f.to_dense(ws);
   const auto& coo = g.coo();
   const Bitmap& in = f.bitmap();
-  Bitmap next(g.num_vertices());
+  Bitmap next =
+      ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
   if (edges_examined != nullptr) *edges_examined = coo.num_edges();
 
   const auto all = coo.all_edges();
@@ -148,14 +173,35 @@ Frontier traverse_transpose_coo(const graph::Graph& g, Frontier& f, Op& op,
 template <EdgeOperator Op>
 Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
                             const Options& opts = {},
-                            TraversalStats* stats = nullptr) {
+                            TraversalStats* stats = nullptr,
+                            TraversalWorkspace* ws = nullptr) {
   if (f.empty()) return Frontier::empty(g.num_vertices());
 
   // Recompute the weight against in-degrees: Σ deg⁻ over active vertices
-  // (out-degrees of the transpose).
-  Frontier weigh = f;  // copy for statistics only; representation unchanged
-  weigh.recount(&g.csc());
-  const eid_t w = weigh.traversal_weight();
+  // (out-degrees of the transpose).  Computed in place — copying the
+  // frontier here would allocate a bitmap per call.
+  const auto& csc = g.csc();
+  eid_t in_deg = 0;
+  if (f.is_dense()) {
+    const std::uint64_t* words = f.bitmap().words();
+    in_deg = parallel_reduce_sum<eid_t>(
+        0, f.bitmap().num_words(), [&](std::size_t i) {
+          eid_t sum = 0;
+          std::uint64_t word = words[i];
+          while (word != 0) {
+            const int b = std::countr_zero(word);
+            sum += csc.degree(
+                static_cast<vid_t>(i * 64 + static_cast<std::size_t>(b)));
+            word &= word - 1;
+          }
+          return sum;
+        });
+  } else {
+    const auto verts = f.vertices();
+    in_deg = parallel_reduce_sum<eid_t>(
+        0, verts.size(), [&](std::size_t i) { return csc.degree(verts[i]); });
+  }
+  const eid_t w = static_cast<eid_t>(f.num_active()) + in_deg;
 
   TraversalKind kind = decide_traversal(w, g.num_edges(), opts);
   if (kind == TraversalKind::kPartitionedCsr)
@@ -173,7 +219,7 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
   bool used_atomics = false;
   switch (kind) {
     case TraversalKind::kSparseCsr:
-      out = traverse_transpose_sparse(g, f, op, &edges);
+      out = traverse_transpose_sparse(g, f, op, &edges, ws);
       used_atomics = true;
       break;
     case TraversalKind::kBackwardCsc: {
@@ -181,13 +227,13 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
           opts.csc_balance == partition::BalanceMode::kVertices
               ? g.partitioning_vertices()
               : g.partitioning_edges();
-      out = traverse_transpose_backward(g, f, op, ranges, &edges);
+      out = traverse_transpose_backward(g, f, op, ranges, &edges, ws);
       used_atomics = false;
       break;
     }
     case TraversalKind::kDenseCoo:
     case TraversalKind::kPartitionedCsr:
-      out = traverse_transpose_coo(g, f, op, &edges);
+      out = traverse_transpose_coo(g, f, op, &edges, ws);
       used_atomics = true;
       break;
   }

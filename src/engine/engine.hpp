@@ -11,6 +11,7 @@
 #include "engine/operators.hpp"
 #include "engine/options.hpp"
 #include "engine/vertex_map.hpp"
+#include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 
@@ -22,18 +23,31 @@ class Engine {
       : graph_(&g), opts_(opts) {}
 
   /// Apply an edge operator to the active out-edges of f (Algorithm 2).
+  /// Scratch state comes from the engine's workspace, so iterative callers
+  /// that recycle() retired frontiers run allocation-free at steady state.
   template <EdgeOperator Op>
   Frontier edge_map(Frontier& f, Op op) {
     return engine::edge_map(*graph_, f, std::move(op), opts_,
-                            opts_.collect_stats ? &stats_ : nullptr);
+                            opts_.collect_stats ? &stats_ : nullptr,
+                            &workspace_);
   }
 
   /// Apply an edge operator over the transposed graph (data flows d→s).
   template <EdgeOperator Op>
   Frontier edge_map_transpose(Frontier& f, Op op) {
     return engine::edge_map_transpose(*graph_, f, std::move(op), opts_,
-                                      opts_.collect_stats ? &stats_ : nullptr);
+                                      opts_.collect_stats ? &stats_ : nullptr,
+                                      &workspace_);
   }
+
+  /// The engine's traversal scratch arena.
+  [[nodiscard]] TraversalWorkspace& workspace() { return workspace_; }
+
+  /// Retire a frontier the caller no longer needs, donating its backing
+  /// storage to the workspace so the next edge_map reuses it instead of
+  /// allocating.  Iterative algorithms call this on the outgoing frontier
+  /// just before overwriting it with the new one.
+  void recycle(Frontier& f) { f.into_workspace(workspace_); }
 
   /// Declare the running algorithm's orientation (§III-D); maps to the CSC
   /// computation-range balance criterion.
@@ -80,6 +94,7 @@ class Engine {
   Options opts_;
   TraversalStats stats_;
   Orientation orientation_ = Orientation::kEdge;
+  TraversalWorkspace workspace_;
 };
 
 }  // namespace grind::engine

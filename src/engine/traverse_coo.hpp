@@ -18,9 +18,8 @@
 //     window the paper reports at 48 partitions (§IV-A).
 #pragma once
 
-#include <algorithm>
-
 #include "engine/operators.hpp"
+#include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 #include "sys/bitmap.hpp"
@@ -30,11 +29,13 @@ namespace grind::engine {
 
 template <EdgeOperator Op>
 Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
-                      bool use_atomics, eid_t* edges_examined) {
-  f.to_dense();
+                      bool use_atomics, eid_t* edges_examined,
+                      TraversalWorkspace* ws = nullptr) {
+  f.to_dense(ws);
   const auto& coo = g.coo();
   const Bitmap& in = f.bitmap();
-  Bitmap next(g.num_vertices());
+  Bitmap next =
+      ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
 
   if (edges_examined != nullptr) *edges_examined = coo.num_edges();
 
@@ -49,22 +50,10 @@ Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
       }
     });
   } else {
-    // Chunk within partitions: (partition, edge sub-range) work items.
-    constexpr eid_t kChunk = 1 << 14;
-    struct WorkItem {
-      part_t part;
-      eid_t begin;
-      eid_t end;
-    };
-    std::vector<WorkItem> items;
-    const part_t np = coo.num_partitions();
-    for (part_t p = 0; p < np; ++p) {
-      const eid_t m = coo.edges(p).size();
-      for (eid_t lo = 0; lo < m; lo += kChunk)
-        items.push_back({p, lo, std::min(m, lo + kChunk)});
-    }
+    // (partition, edge sub-range) work items, cached at layout build time.
+    const auto& items = coo.chunks();
     parallel_for_dynamic(0, items.size(), [&](std::size_t w) {
-      const WorkItem& it = items[w];
+      const partition::CooChunk& it = items[w];
       const auto es = coo.edges(it.part);
       for (eid_t i = it.begin; i < it.end; ++i) {
         const Edge& e = es[i];

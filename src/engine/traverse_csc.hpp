@@ -14,6 +14,7 @@
 #pragma once
 
 #include "engine/operators.hpp"
+#include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 #include "partition/partitioner.hpp"
@@ -22,35 +23,29 @@
 
 namespace grind::engine {
 
-/// Vertices per schedulable sub-chunk of a partition range.  A multiple of
-/// 64 so sub-chunks never share a bitmap word; small enough that a skewed
-/// in-degree block cannot straggle an entire partition (the intra-partition
-/// parallelism the paper gets from a NUMA domain's threads).
-inline constexpr vid_t kCscSubChunk = 256;
-
-/// Split the partitioning's ranges into word-aligned sub-chunks.
-inline std::vector<VertexRange> csc_sub_chunks(
+/// The partitioning's ranges split into word-aligned sub-chunks — now a
+/// build-time-cached property of the Partitioning itself.
+inline const std::vector<VertexRange>& csc_sub_chunks(
     const partition::Partitioning& ranges) {
-  std::vector<VertexRange> chunks;
-  for (part_t p = 0; p < ranges.num_partitions(); ++p) {
-    const VertexRange r = ranges.range(p);
-    for (vid_t v = r.begin; v < r.end; v += kCscSubChunk)
-      chunks.push_back({v, std::min<vid_t>(r.end, v + kCscSubChunk)});
-  }
-  if (chunks.empty()) chunks.push_back({0, 0});
-  return chunks;
+  return ranges.sub_chunks();
 }
 
 template <EdgeOperator Op>
 Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
                                const partition::Partitioning& ranges,
-                               eid_t* edges_examined) {
-  f.to_dense();
+                               eid_t* edges_examined,
+                               TraversalWorkspace* ws = nullptr) {
+  f.to_dense(ws);
   const auto& csc = g.csc();
   const Bitmap& in = f.bitmap();
-  Bitmap next(g.num_vertices());
-  const std::vector<VertexRange> chunks = csc_sub_chunks(ranges);
-  std::vector<eid_t> edge_counts(chunks.size(), 0);
+  Bitmap next =
+      ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
+  const std::vector<VertexRange>& chunks = ranges.sub_chunks();
+  std::vector<eid_t> local_counts;
+  std::vector<eid_t>& edge_counts = ws != nullptr
+                                        ? ws->edge_counters(chunks.size())
+                                        : local_counts;
+  if (ws == nullptr) local_counts.assign(chunks.size(), 0);
 
   parallel_for_dynamic(0, chunks.size(), [&](std::size_t c) {
     const VertexRange r = chunks[c];
@@ -58,12 +53,12 @@ Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
     for (vid_t d = r.begin; d < r.end; ++d) {
       if (!op.cond(d)) continue;
       const auto neigh = csc.neighbors(d);
-      const auto ws = csc.weights(d);
+      const auto wts = csc.weights(d);
       for (std::size_t j = 0; j < neigh.size(); ++j) {
         ++local_edges;
         const vid_t s = neigh[j];
         if (!in.get(s)) continue;
-        if (op.update(s, d, ws[j])) next.set(d);
+        if (op.update(s, d, wts[j])) next.set(d);
         if (!op.cond(d)) break;  // destination saturated; skip remaining
       }
     }

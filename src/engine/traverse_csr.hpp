@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/operators.hpp"
+#include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 #include "sys/parallel.hpp"
@@ -25,14 +26,23 @@ namespace grind::engine {
 
 template <EdgeOperator Op>
 Frontier traverse_csr_sparse(const graph::Graph& g, Frontier& f, Op& op,
-                             eid_t* edges_examined) {
-  f.to_sparse();
+                             eid_t* edges_examined,
+                             TraversalWorkspace* ws = nullptr) {
+  f.to_sparse(ws);
   const auto& csr = g.csr();
   const auto verts = f.vertices();
   const int nt = num_threads();
 
-  std::vector<std::vector<vid_t>> buffers(static_cast<std::size_t>(nt));
-  std::vector<eid_t> edge_counts(static_cast<std::size_t>(nt), 0);
+  std::vector<std::vector<vid_t>> local_buffers;
+  std::vector<std::vector<vid_t>>& buffers =
+      ws != nullptr ? ws->thread_buffers(static_cast<std::size_t>(nt))
+                    : local_buffers;
+  if (ws == nullptr) local_buffers.resize(static_cast<std::size_t>(nt));
+  std::vector<eid_t> local_counts;
+  std::vector<eid_t>& edge_counts =
+      ws != nullptr ? ws->edge_counters(static_cast<std::size_t>(nt))
+                    : local_counts;
+  if (ws == nullptr) local_counts.assign(static_cast<std::size_t>(nt), 0);
 
 #pragma omp parallel num_threads(nt)
   {
@@ -43,11 +53,11 @@ Frontier traverse_csr_sparse(const graph::Graph& g, Frontier& f, Op& op,
     for (std::size_t i = 0; i < verts.size(); ++i) {
       const vid_t s = verts[i];
       const auto neigh = csr.neighbors(s);
-      const auto ws = csr.weights(s);
+      const auto wts = csr.weights(s);
       local_edges += neigh.size();
       for (std::size_t j = 0; j < neigh.size(); ++j) {
         const vid_t d = neigh[j];
-        if (op.cond(d) && op.update_atomic(s, d, ws[j])) buf.push_back(d);
+        if (op.cond(d) && op.update_atomic(s, d, wts[j])) buf.push_back(d);
       }
     }
     edge_counts[t] = local_edges;
@@ -55,16 +65,22 @@ Frontier traverse_csr_sparse(const graph::Graph& g, Frontier& f, Op& op,
 
   if (edges_examined != nullptr) {
     eid_t total = 0;
-    for (eid_t c : edge_counts) total += c;
+    for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t)
+      total += edge_counts[t];
     *edges_examined = total;
   }
 
-  // Concatenate per-thread buffers into one sparse list.
+  // Concatenate per-thread buffers into one sparse list (recycled capacity
+  // when a workspace is supplied; ownership moves into the frontier and
+  // returns via Frontier::into_workspace).
   std::size_t total_active = 0;
-  for (const auto& b : buffers) total_active += b.size();
-  std::vector<vid_t> next;
+  for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t)
+    total_active += buffers[t].size();
+  std::vector<vid_t> next =
+      ws != nullptr ? ws->acquire_vertex_list() : std::vector<vid_t>{};
   next.reserve(total_active);
-  for (auto& b : buffers) next.insert(next.end(), b.begin(), b.end());
+  for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t)
+    next.insert(next.end(), buffers[t].begin(), buffers[t].end());
 
   return Frontier::from_vertices(g.num_vertices(), std::move(next), &g.csr());
 }

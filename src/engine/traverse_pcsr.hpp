@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/operators.hpp"
+#include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 #include "partition/partitioned_csr.hpp"
@@ -30,11 +31,13 @@ namespace grind::engine {
 
 template <EdgeOperator Op>
 Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
-                                  bool use_atomics, eid_t* edges_examined) {
-  f.to_dense();
+                                  bool use_atomics, eid_t* edges_examined,
+                                  TraversalWorkspace* ws = nullptr) {
+  f.to_dense(ws);
   const auto& pc = g.partitioned_csr();
   const Bitmap& in = f.bitmap();
-  Bitmap next(g.num_vertices());
+  Bitmap next =
+      ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
   const part_t np = pc.num_partitions();
 
   if (edges_examined != nullptr) {
@@ -57,22 +60,12 @@ Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
       }
     });
   } else {
-    // Flatten (partition, local-vertex chunk) work items so partitions much
-    // larger than others still spread across threads.
-    constexpr vid_t kChunk = 1024;
-    struct WorkItem {
-      part_t part;
-      vid_t begin;
-      vid_t end;
-    };
-    std::vector<WorkItem> items;
-    for (part_t p = 0; p < np; ++p) {
-      const vid_t nloc = pc.part(p).num_local_vertices();
-      for (vid_t v = 0; v < nloc; v += kChunk)
-        items.push_back({p, v, std::min<vid_t>(nloc, v + kChunk)});
-    }
+    // Flattened (partition, local-vertex chunk) work items — cached at
+    // layout build time — so partitions much larger than others still
+    // spread across threads.
+    const auto& items = pc.chunks();
     parallel_for_dynamic(0, items.size(), [&](std::size_t w) {
-      const WorkItem& it = items[w];
+      const partition::PcsrChunk& it = items[w];
       const auto& part = pc.part(it.part);
       for (vid_t i = it.begin; i < it.end; ++i) {
         const vid_t s = part.vertex_ids[i];

@@ -1,0 +1,176 @@
+// TraversalWorkspace: per-graph reusable scratch arena for the traversal
+// kernels, in the partition-centric tradition (PCPM, GraphChi): the hot loop
+// of an iterative algorithm must not allocate, because malloc/free traffic
+// pollutes exactly the caches the partitioned layouts exist to protect.
+//
+// The workspace pools every piece of transient state an edge_map call needs:
+//   * next-frontier bitmaps — retired frontier bitmaps ping-pong back in via
+//     Frontier::into_workspace; acquisition clears only the dirty (nonzero)
+//     words of the recycled bitmap (Bitmap::clear_dirty), so the clearing
+//     cost tracks the previous frontier's density rather than |V|;
+//   * sparse vertex lists — the concatenated output of the sparse forward
+//     kernel, and the sparse representation built by Frontier::to_sparse;
+//   * per-thread push buffers — capacity retained across iterations, so the
+//     sparse kernel's push_back reallocations happen only while the high-
+//     water mark is still rising;
+//   * per-chunk / per-thread edge counters and prefix-sum scratch.
+//
+// The partition chunk work lists (COO edge chunks, CSC vertex sub-chunks,
+// pruned-CSR vertex chunks) are NOT here: they depend only on the immutable
+// graph, so they are computed once at build time and cached inside
+// PartitionedCoo / Partitioning / PartitionedCsr.
+//
+// A workspace is not thread-safe: one workspace per concurrently running
+// traversal loop.  It may be shared freely across sequential edge_map calls
+// and across graphs (pooled buffers are keyed by size where it matters).
+// Engine owns one lazily, so all Engine-driven algorithms get steady-state
+// zero-allocation traversal without code changes; call-site workspaces are
+// for driving the kernels directly (benchmarks, baseline engines).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sys/bitmap.hpp"
+#include "sys/types.hpp"
+
+namespace grind::engine {
+
+class TraversalWorkspace {
+ public:
+  /// Retired bitmaps kept for reuse.  Two suffice for frontier ping-pong
+  /// (input + output); a couple more absorb algorithms that hold several
+  /// frontiers (BC's level stack) without unbounded growth.
+  static constexpr std::size_t kMaxPooledBitmaps = 4;
+  /// Retired sparse vertex lists kept for reuse.
+  static constexpr std::size_t kMaxPooledLists = 4;
+
+  TraversalWorkspace() {
+    // Reserve the (tiny) pool vectors up front so pool push_backs never
+    // reallocate inside a traversal.
+    bitmaps_.reserve(kMaxPooledBitmaps);
+    lists_.reserve(kMaxPooledLists);
+  }
+  TraversalWorkspace(TraversalWorkspace&&) = default;
+  TraversalWorkspace& operator=(TraversalWorkspace&&) = default;
+  TraversalWorkspace(const TraversalWorkspace&) = delete;
+  TraversalWorkspace& operator=(const TraversalWorkspace&) = delete;
+
+  /// A cleared bitmap of `bits` bits.  Reuses a pooled bitmap of matching
+  /// size when one is available (clearing only its dirty words); allocates
+  /// otherwise.
+  [[nodiscard]] Bitmap acquire_bitmap(std::size_t bits) {
+    for (std::size_t i = 0; i < bitmaps_.size(); ++i) {
+      if (bitmaps_[i].size() != bits) continue;
+      Bitmap b = std::move(bitmaps_[i]);
+      bitmaps_[i] = std::move(bitmaps_.back());
+      bitmaps_.pop_back();
+      b.clear_dirty();
+      return b;
+    }
+    return Bitmap(bits);
+  }
+
+  /// Return a bitmap to the pool (contents may be dirty; cleared on
+  /// acquisition).  Zero-size bitmaps are dropped.
+  void recycle_bitmap(Bitmap&& b) {
+    if (b.size() == 0) return;
+    if (bitmaps_.size() < kMaxPooledBitmaps) {
+      bitmaps_.push_back(std::move(b));
+    } else {
+      // Pool full: prefer evicting a mismatched size so a workspace shared
+      // across graphs converges on the active graph's size.
+      for (auto& slot : bitmaps_) {
+        if (slot.size() != b.size()) {
+          slot = std::move(b);
+          return;
+        }
+      }
+      bitmaps_.front() = std::move(b);
+    }
+  }
+
+  /// An empty vertex list with whatever capacity a previous traversal left
+  /// behind.  Returns the largest-capacity pooled list so small lists (e.g.
+  /// the single-vertex seed frontier's) cannot keep forcing reallocations
+  /// once a run's high-water mark is known.
+  [[nodiscard]] std::vector<vid_t> acquire_vertex_list() {
+    if (lists_.empty()) return {};
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < lists_.size(); ++i)
+      if (lists_[i].capacity() > lists_[best].capacity()) best = i;
+    std::vector<vid_t> v = std::move(lists_[best]);
+    lists_[best] = std::move(lists_.back());
+    lists_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  void recycle_vertex_list(std::vector<vid_t>&& v) {
+    if (v.capacity() == 0) return;
+    v.clear();
+    if (lists_.size() < kMaxPooledLists) {
+      lists_.push_back(std::move(v));
+      return;
+    }
+    // Pool full: replace the smallest pooled list if the newcomer is bigger.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < lists_.size(); ++i)
+      if (lists_[i].capacity() < lists_[worst].capacity()) worst = i;
+    if (lists_[worst].capacity() < v.capacity())
+      lists_[worst] = std::move(v);
+  }
+
+  /// `nt` per-thread push buffers, each emptied but with retained capacity.
+  [[nodiscard]] std::vector<std::vector<vid_t>>& thread_buffers(
+      std::size_t nt) {
+    if (thread_bufs_.size() < nt) thread_bufs_.resize(nt);
+    for (std::size_t t = 0; t < nt; ++t) thread_bufs_[t].clear();
+    return thread_bufs_;
+  }
+
+  /// `n` zeroed edge counters (per chunk or per thread).
+  [[nodiscard]] std::vector<eid_t>& edge_counters(std::size_t n) {
+    counters_.assign(n, 0);
+    return counters_;
+  }
+
+  /// Two size_t scratch arrays of length `n` (uninitialized contents) for
+  /// count/prefix-sum passes such as Frontier::to_sparse.
+  [[nodiscard]] std::vector<std::size_t>& scratch_counts(std::size_t n) {
+    scratch_counts_.resize(n);
+    return scratch_counts_;
+  }
+  [[nodiscard]] std::vector<std::size_t>& scratch_offsets(std::size_t n) {
+    scratch_offsets_.resize(n);
+    return scratch_offsets_;
+  }
+
+  /// Pool introspection (tests / diagnostics).
+  [[nodiscard]] std::size_t pooled_bitmaps() const { return bitmaps_.size(); }
+  [[nodiscard]] std::size_t pooled_vertex_lists() const {
+    return lists_.size();
+  }
+
+  /// Drop all pooled storage (e.g. before measuring cold-start behaviour).
+  void release_memory() {
+    bitmaps_.clear();
+    lists_.clear();
+    thread_bufs_.clear();
+    thread_bufs_.shrink_to_fit();
+    counters_ = {};
+    scratch_counts_ = {};
+    scratch_offsets_ = {};
+  }
+
+ private:
+  std::vector<Bitmap> bitmaps_;
+  std::vector<std::vector<vid_t>> lists_;
+  std::vector<std::vector<vid_t>> thread_bufs_;
+  std::vector<eid_t> counters_;
+  std::vector<std::size_t> scratch_counts_;
+  std::vector<std::size_t> scratch_offsets_;
+};
+
+}  // namespace grind::engine

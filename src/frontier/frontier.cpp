@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "engine/workspace.hpp"
 #include "sys/parallel.hpp"
 
 namespace grind {
@@ -61,24 +62,37 @@ bool Frontier::contains(vid_t v) const {
   return std::find(sparse_.begin(), sparse_.end(), v) != sparse_.end();
 }
 
-void Frontier::to_dense() {
+void Frontier::to_dense(engine::TraversalWorkspace* ws) {
   if (dense_rep_) return;
-  dense_ = Bitmap(n_);
+  dense_ = ws != nullptr ? ws->acquire_bitmap(n_) : Bitmap(n_);
   // Sparse lists are small by definition; serial scatter is fine and avoids
   // atomic traffic.
   for (vid_t v : sparse_) dense_.set(v);
-  sparse_.clear();
-  sparse_.shrink_to_fit();
+  if (ws != nullptr) {
+    ws->recycle_vertex_list(std::move(sparse_));
+    sparse_ = {};
+  } else {
+    sparse_.clear();
+    sparse_.shrink_to_fit();
+  }
   dense_rep_ = true;
 }
 
-void Frontier::to_sparse() {
+void Frontier::to_sparse(engine::TraversalWorkspace* ws) {
   if (!dense_rep_) return;
   // Parallel gather: count bits per word-block, prefix-sum, then write.
   const std::size_t words = dense_.num_words();
   constexpr std::size_t kBlock = 512;  // words per block
   const std::size_t blocks = (words + kBlock - 1) / kBlock;
-  std::vector<std::size_t> block_counts(blocks, 0);
+  std::vector<std::size_t> local_counts, local_offsets;
+  std::vector<std::size_t>& block_counts =
+      ws != nullptr ? ws->scratch_counts(blocks) : local_counts;
+  std::vector<std::size_t>& block_offsets =
+      ws != nullptr ? ws->scratch_offsets(blocks) : local_offsets;
+  if (ws == nullptr) {
+    local_counts.resize(blocks);
+    local_offsets.resize(blocks);
+  }
   const std::uint64_t* w = dense_.words();
   parallel_for(0, blocks, [&](std::size_t b) {
     std::size_t c = 0;
@@ -86,9 +100,11 @@ void Frontier::to_sparse() {
     for (std::size_t i = lo; i < hi; ++i) c += std::popcount(w[i]);
     block_counts[b] = c;
   });
-  std::vector<std::size_t> block_offsets(blocks);
   const std::size_t total =
       exclusive_scan(block_counts.data(), block_offsets.data(), blocks);
+  if (ws != nullptr && sparse_.capacity() == 0) {
+    sparse_ = ws->acquire_vertex_list();
+  }
   sparse_.resize(total);
   parallel_for(0, blocks, [&](std::size_t b) {
     std::size_t cursor = block_offsets[b];
@@ -103,9 +119,24 @@ void Frontier::to_sparse() {
       }
     }
   });
+  if (ws != nullptr) {
+    ws->recycle_bitmap(std::move(dense_));
+  }
   dense_ = Bitmap();
   dense_rep_ = false;
   num_active_ = static_cast<vid_t>(total);
+}
+
+void Frontier::into_workspace(engine::TraversalWorkspace& ws) {
+  if (dense_rep_) {
+    ws.recycle_bitmap(std::move(dense_));
+  }
+  ws.recycle_vertex_list(std::move(sparse_));
+  dense_ = Bitmap();
+  sparse_ = {};
+  dense_rep_ = false;
+  num_active_ = 0;
+  out_degree_ = 0;
 }
 
 void Frontier::recount(const graph::Csr* out) {

@@ -15,6 +15,10 @@
 #include "sys/bitmap.hpp"
 #include "sys/types.hpp"
 
+namespace grind::engine {
+class TraversalWorkspace;
+}  // namespace grind::engine
+
 namespace grind {
 
 class Frontier {
@@ -64,10 +68,22 @@ class Frontier {
   // Mutators ----------------------------------------------------------------
 
   /// Convert to dense bitmap representation (no-op if already dense).
-  void to_dense();
+  /// When a workspace is supplied, the bitmap is acquired from its pool and
+  /// the retired sparse list is returned to it, so steady-state conversions
+  /// allocate nothing.
+  void to_dense(engine::TraversalWorkspace* ws = nullptr);
   /// Convert to sparse list representation (no-op if already sparse).
-  /// The produced list is sorted by vertex ID.
-  void to_sparse();
+  /// The produced list is sorted by vertex ID.  With a workspace, the list
+  /// and the count/offset scratch come from its pools and the retired
+  /// bitmap is recycled into it.
+  void to_sparse(engine::TraversalWorkspace* ws = nullptr);
+
+  /// Retire this frontier: donate its backing storage (bitmap and/or sparse
+  /// list) to `ws` for reuse by later traversals, leaving the frontier
+  /// empty.  This is the move-based recycling that lets the next-frontier
+  /// bitmap ping-pong between edge_map input and output instead of being
+  /// freed and re-malloc'd every level.
+  void into_workspace(engine::TraversalWorkspace& ws);
 
   /// Overwrite the cached statistics (used by traversals that track them
   /// incrementally).

@@ -57,6 +57,13 @@ PartitionedCoo PartitionedCoo::build(const graph::EdgeList& el,
     }
   });
 
+  // 5. Cache the atomics-mode chunk list (partition, edge sub-range).
+  for (part_t p = 0; p < np; ++p) {
+    const eid_t m = coo.offsets_[p + 1] - coo.offsets_[p];
+    for (eid_t lo = 0; lo < m; lo += kCooChunkEdges)
+      coo.chunks_.push_back({p, lo, std::min(m, lo + kCooChunkEdges)});
+  }
+
   return coo;
 }
 

@@ -28,6 +28,19 @@ enum class EdgeOrder {
   kHilbert,      ///< sort by Hilbert index of (src, dst)
 };
 
+/// Edges per schedulable chunk in the atomics-mode dense traversal: small
+/// enough to give intra-partition parallelism when P < threads, large enough
+/// that chunk dispatch overhead is negligible.
+inline constexpr eid_t kCooChunkEdges = 1 << 14;
+
+/// One (partition, edge sub-range) work item of the atomics-mode dense
+/// traversal; [begin, end) indexes into the partition's edge bucket.
+struct CooChunk {
+  part_t part;
+  eid_t begin;
+  eid_t end;
+};
+
 /// COO edge arrays bucketed by partition.
 class PartitionedCoo {
  public:
@@ -56,6 +69,12 @@ class PartitionedCoo {
 
   [[nodiscard]] std::span<const eid_t> offsets() const { return offsets_; }
 
+  /// The atomics-mode work list: every partition's edge range split into
+  /// kCooChunkEdges-sized chunks.  Computed once at build time — the layout
+  /// is immutable, so rebuilding this list per edge_map call (as the engine
+  /// once did) is pure hot-loop overhead.
+  [[nodiscard]] const std::vector<CooChunk>& chunks() const { return chunks_; }
+
   /// Bytes of storage per the paper's accounting: 2|E|·bv (src + dst ids;
   /// weights excluded to match the unweighted formulas of §II-E).
   [[nodiscard]] std::size_t storage_bytes_unweighted() const {
@@ -64,8 +83,9 @@ class PartitionedCoo {
 
  private:
   EdgeOrder order_ = EdgeOrder::kSource;
-  std::vector<eid_t> offsets_;  // P+1
-  std::vector<Edge> edges_;     // |E|, partition-major
+  std::vector<eid_t> offsets_;    // P+1
+  std::vector<Edge> edges_;       // |E|, partition-major
+  std::vector<CooChunk> chunks_;  // cached atomics-mode work list
 };
 
 }  // namespace grind::partition

@@ -61,6 +61,13 @@ PartitionedCsr PartitionedCsr::build(const graph::EdgeList& el,
     part.offsets.push_back(m);
   });
 
+  // Cache the atomics-mode chunk list (partition, local-vertex sub-range).
+  for (part_t p = 0; p < np; ++p) {
+    const vid_t nloc = pc.parts_[p].num_local_vertices();
+    for (vid_t v = 0; v < nloc; v += kPcsrChunkVertices)
+      pc.chunks_.push_back({p, v, std::min<vid_t>(nloc, v + kPcsrChunkVertices)});
+  }
+
   return pc;
 }
 

@@ -38,6 +38,18 @@ struct PrunedCsrPart {
   [[nodiscard]] eid_t num_edges() const { return targets.size(); }
 };
 
+/// Local vertices per schedulable chunk in the atomics-mode partitioned-CSR
+/// traversal.
+inline constexpr vid_t kPcsrChunkVertices = 1024;
+
+/// One (partition, local-vertex sub-range) work item of the atomics-mode
+/// traversal; [begin, end) indexes the partition's local vertex array.
+struct PcsrChunk {
+  part_t part;
+  vid_t begin;
+  vid_t end;
+};
+
 /// The full partitioned pruned CSR.
 class PartitionedCsr {
  public:
@@ -62,8 +74,16 @@ class PartitionedCsr {
   /// Σ_p ( |ids_p|·(bv + be) ) + |E|·bv — the "CSR pruned" curve of Fig 4.
   [[nodiscard]] std::size_t storage_bytes_pruned() const;
 
+  /// The atomics-mode work list: every partition's local vertices split into
+  /// kPcsrChunkVertices-sized chunks, cached at build time so the traversal
+  /// hot path never rebuilds it.
+  [[nodiscard]] const std::vector<PcsrChunk>& chunks() const {
+    return chunks_;
+  }
+
  private:
   std::vector<PrunedCsrPart> parts_;
+  std::vector<PcsrChunk> chunks_;  // cached atomics-mode work list
 };
 
 }  // namespace grind::partition

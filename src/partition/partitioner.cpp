@@ -14,6 +14,15 @@ part_t Partitioning::partition_of(vid_t v) const {
   return static_cast<part_t>((it - ranges_.begin()) - 1);
 }
 
+void Partitioning::build_sub_chunks() {
+  sub_chunks_.clear();
+  for (const VertexRange& r : ranges_) {
+    for (vid_t v = r.begin; v < r.end; v += kSubChunkVertices)
+      sub_chunks_.push_back({v, std::min<vid_t>(r.end, v + kSubChunkVertices)});
+  }
+  if (sub_chunks_.empty()) sub_chunks_.push_back({0, 0});
+}
+
 double Partitioning::edge_imbalance() const {
   eid_t total = 0, peak = 0;
   part_t nonempty = 0;

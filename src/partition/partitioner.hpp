@@ -44,18 +44,26 @@ struct PartitionOptions {
   vid_t boundary_align = 64;
 };
 
+/// Vertices per schedulable sub-chunk of a partition range.  A multiple of
+/// 64 so sub-chunks never share a frontier-bitmap word; small enough that a
+/// skewed in-degree block cannot straggle an entire partition (the intra-
+/// partition parallelism the paper gets from a NUMA domain's threads).
+inline constexpr vid_t kSubChunkVertices = 256;
+
 /// The result: P contiguous vertex ranges covering [0, |V|).
 ///
 /// ranges()[p] is the set of vertices whose home partition is p.  Trailing
 /// partitions may be empty when the graph is small relative to P·align.
 class Partitioning {
  public:
-  Partitioning() = default;
+  Partitioning() { build_sub_chunks(); }
   Partitioning(std::vector<VertexRange> ranges, std::vector<eid_t> edge_counts,
                PartitionOptions opts)
       : ranges_(std::move(ranges)),
         edge_counts_(std::move(edge_counts)),
-        opts_(opts) {}
+        opts_(opts) {
+    build_sub_chunks();
+  }
 
   [[nodiscard]] part_t num_partitions() const {
     return static_cast<part_t>(ranges_.size());
@@ -82,10 +90,21 @@ class Partitioning {
   /// imbalance the split criterion tries to keep near 1.
   [[nodiscard]] double edge_imbalance() const;
 
+  /// The partition ranges split into word-aligned kSubChunkVertices-sized
+  /// sub-chunks — the schedulable work items of the backward-CSC traversal.
+  /// Computed once at construction so the traversal hot path never rebuilds
+  /// the list.  Never empty: a degenerate partitioning yields {{0, 0}}.
+  [[nodiscard]] const std::vector<VertexRange>& sub_chunks() const {
+    return sub_chunks_;
+  }
+
  private:
+  void build_sub_chunks();
+
   std::vector<VertexRange> ranges_;
   std::vector<eid_t> edge_counts_;
   PartitionOptions opts_;
+  std::vector<VertexRange> sub_chunks_;
 };
 
 /// Algorithm 1 (generalised): split the vertex set into `num_partitions`

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -60,6 +61,32 @@ class Bitmap {
 
   /// Zero all bits (parallel).
   void clear() { parallel_fill(words_, std::uint64_t{0}); }
+
+  /// Zero the words covering bit range [begin, end); begin must be a
+  /// multiple of 64 (a partition boundary) so no bits below it are cleared.
+  void clear_range(std::size_t begin, std::size_t end) {
+    assert(begin % 64 == 0 && "clear_range begin must be word-aligned");
+    const std::size_t wb = begin >> 6;
+    const std::size_t we = (end + 63) >> 6;
+    parallel_fill(words_.data() + wb, we - wb, std::uint64_t{0});
+  }
+
+  /// Zero only the dirty (nonzero) words: a full-width read pass but stores
+  /// touch just the cache lines a previous traversal actually wrote.  This
+  /// is the workspace-recycling clear — on sparse-ish frontiers it writes a
+  /// small fraction of the words clear() would.
+  void clear_dirty() {
+    parallel_for(0, words_.size(), [&](std::size_t w) {
+      if (words_[w] != 0) words_[w] = 0;
+    });
+  }
+
+  /// True iff no bit is set.
+  [[nodiscard]] bool none() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
 
   /// Set all bits (parallel); trailing bits beyond size() stay clear so that
   /// count() remains exact.

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace grind {
@@ -69,7 +70,10 @@ void parallel_for_dynamic(std::size_t begin, std::size_t end, F&& f,
   for (std::size_t i = begin; i < end; ++i) f(i);
 }
 
-/// Parallel sum-reduction of f(i) over [begin, end).
+/// Parallel sum-reduction of f(i) over [begin, end).  Uses the OpenMP
+/// reduction clause (tree combine) rather than a critical section, so the
+/// combine step is O(log threads) instead of serialized.  T must be an
+/// arithmetic type (all in-tree uses are).
 template <typename T, typename F>
 T parallel_reduce_sum(std::size_t begin, std::size_t end, F&& f) {
   const std::size_t n = end > begin ? end - begin : 0;
@@ -78,36 +82,27 @@ T parallel_reduce_sum(std::size_t begin, std::size_t end, F&& f) {
     for (std::size_t i = begin; i < end; ++i) total += f(i);
     return total;
   }
-#pragma omp parallel
-  {
-    T local{};
-#pragma omp for schedule(static) nowait
-    for (std::size_t i = begin; i < end; ++i) local += f(i);
-#pragma omp critical(grind_reduce_sum)
-    total += local;
-  }
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::size_t i = begin; i < end; ++i) total += f(i);
   return total;
 }
 
 /// Parallel max-reduction of f(i) over [begin, end); returns `identity` for
-/// an empty range.
+/// an empty range.  Reduction clause for the same reason as above; note the
+/// OpenMP max reduction initializes privates to the type's minimum, so the
+/// identity is folded in afterwards.
 template <typename T, typename F>
 T parallel_reduce_max(std::size_t begin, std::size_t end, T identity, F&& f) {
   const std::size_t n = end > begin ? end - begin : 0;
-  T best = identity;
   if (n < kSerialCutoff || num_threads() == 1) {
+    T best = identity;
     for (std::size_t i = begin; i < end; ++i) best = std::max(best, f(i));
     return best;
   }
-#pragma omp parallel
-  {
-    T local = identity;
-#pragma omp for schedule(static) nowait
-    for (std::size_t i = begin; i < end; ++i) local = std::max(local, f(i));
-#pragma omp critical(grind_reduce_max)
-    best = std::max(best, local);
-  }
-  return best;
+  T best = std::numeric_limits<T>::lowest();
+#pragma omp parallel for schedule(static) reduction(max : best)
+  for (std::size_t i = begin; i < end; ++i) best = std::max(best, f(i));
+  return std::max(best, identity);
 }
 
 /// Exclusive prefix sum: out[i] = sum of in[0..i).  `out` may alias `in`.

@@ -192,6 +192,10 @@ int cmd_run(const std::vector<std::string>& args) {
     source = 0;
     for (vid_t v = 1; v < g.num_vertices(); ++v)
       if (g.out_degree(v) > g.out_degree(source)) source = v;
+  } else if (source >= g.num_vertices()) {
+    std::fprintf(stderr, "error: --source %u out of range (graph has %u vertices)\n",
+                 source, g.num_vertices());
+    return 1;
   }
 
   engine::Engine eng(g, eopts);
