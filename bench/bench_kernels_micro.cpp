@@ -317,6 +317,10 @@ void audit_bfs(engine::Engine& eng, vid_t source,
                double& total_ms) {
   const auto& g = eng.graph();
   const vid_t n = g.num_vertices();
+  // This audit drives edge_map with raw frontiers, below the algorithm
+  // boundary where ID translation normally happens — so translate the
+  // original-space source here (identity under the default build).
+  source = g.to_internal(source);
   auto run = [&](bool record) {
     std::vector<vid_t> parent(n, kInvalidVertex);
     parent[source] = source;

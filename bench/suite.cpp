@@ -68,10 +68,7 @@ graph::EdgeList make_suite_graph(const std::string& name, double scale) {
 }
 
 vid_t max_out_degree_vertex(const graph::Graph& g) {
-  vid_t best = 0;
-  for (vid_t v = 1; v < g.num_vertices(); ++v)
-    if (g.out_degree(v) > g.out_degree(best)) best = v;
-  return best;
+  return g.max_out_degree_source();
 }
 
 }  // namespace grind::bench

@@ -37,6 +37,7 @@ int suite_rounds();
 
 /// A vertex with maximal out-degree — the conventional source for BFS/BC/
 /// SSSP on social graphs (deterministic for a deterministic graph).
+/// Returned in original-ID space, ready to pass to the algorithms.
 vid_t max_out_degree_vertex(const graph::Graph& g);
 
 }  // namespace grind::bench

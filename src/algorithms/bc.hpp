@@ -92,13 +92,15 @@ BcResult betweenness_centrality(Eng& eng, vid_t source) {
 
   std::vector<unsigned char> visited(n, 0);
   std::vector<unsigned char> claimed(n, 0);
-  r.sigma[source] = 1.0;
-  r.level[source] = 0;
-  visited[source] = 1;
+  // `source` arrives in original-ID space; both sweeps run internal.
+  const vid_t src = g.remap().to_internal(source);
+  r.sigma[src] = 1.0;
+  r.level[src] = 0;
+  visited[src] = 1;
 
   // Forward sweep, recording every level's frontier for the reverse pass.
   std::vector<Frontier> levels;
-  levels.push_back(Frontier::single(n, source, &g.csr()));
+  levels.push_back(Frontier::single(n, src, &g.csr()));
   std::int64_t depth = 0;
   while (!levels.back().empty()) {
     ++depth;
@@ -133,6 +135,9 @@ BcResult betweenness_centrality(Eng& eng, vid_t source) {
   if constexpr (requires { eng.recycle(levels[0]); }) eng.recycle(levels[0]);
 
   eng.set_orientation(saved);
+  r.dependency = g.remap().values_to_original(std::move(r.dependency));
+  r.sigma = g.remap().values_to_original(std::move(r.sigma));
+  r.level = g.remap().values_to_original(std::move(r.level));
   return r;
 }
 

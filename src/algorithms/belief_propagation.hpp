@@ -92,9 +92,13 @@ BeliefPropagationResult belief_propagation(Eng& eng,
   r.belief0.assign(n, 0.5);
   if (n == 0) return r;
 
+  // Priors are keyed by *original* vertex ID so the field (and therefore
+  // the fixpoint) is invariant under the build's VertexOrdering.
+  const auto& remap = g.remap();
   std::vector<double> prior0(n);
   parallel_for(0, n, [&](std::size_t v) {
-    prior0[v] = detail::bp_prior(opts.prior_seed, static_cast<vid_t>(v));
+    prior0[v] = detail::bp_prior(opts.prior_seed,
+                                 remap.to_original(static_cast<vid_t>(v)));
     r.belief0[v] = prior0[v];
   });
 
@@ -121,6 +125,7 @@ BeliefPropagationResult belief_propagation(Eng& eng,
     });
     ++r.iterations;
   }
+  r.belief0 = remap.values_to_original(std::move(r.belief0));
   return r;
 }
 

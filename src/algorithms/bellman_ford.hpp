@@ -64,8 +64,10 @@ BellmanFordResult bellman_ford(Eng& eng, vid_t source) {
   eng.set_orientation(engine::Orientation::kVertex);
 
   std::vector<unsigned char> claimed(n, 0);
-  r.dist[source] = 0.0;
-  Frontier frontier = Frontier::single(n, source, &g.csr());
+  // `source` arrives in original-ID space; the traversal runs internal.
+  const vid_t src = g.remap().to_internal(source);
+  r.dist[src] = 0.0;
+  Frontier frontier = Frontier::single(n, src, &g.csr());
 
   // Non-negative weights ⇒ at most |V| rounds; cap defensively anyway.
   while (!frontier.empty() && r.rounds < static_cast<int>(n) + 1) {
@@ -78,6 +80,7 @@ BellmanFordResult bellman_ford(Eng& eng, vid_t source) {
   }
 
   eng.set_orientation(saved);
+  r.dist = g.remap().values_to_original(std::move(r.dist));
   return r;
 }
 

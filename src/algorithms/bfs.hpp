@@ -58,7 +58,9 @@ struct BfsOp {
 
 }  // namespace detail
 
-/// Run BFS from `source` on any traversal engine.
+/// Run BFS from `source` on any traversal engine.  `source` and the result
+/// arrays are in original-ID space; the graph's VertexRemap translates at
+/// this boundary.
 template <typename Eng>
 BfsResult bfs(Eng& eng, vid_t source) {
   const auto& g = eng.graph();
@@ -72,11 +74,12 @@ BfsResult bfs(Eng& eng, vid_t source) {
   const auto saved = eng.orientation();
   eng.set_orientation(engine::Orientation::kVertex);
 
-  r.parent[source] = source;
-  r.level[source] = 0;
+  const vid_t src = g.remap().to_internal(source);
+  r.parent[src] = src;
+  r.level[src] = 0;
   r.reached = 1;
 
-  Frontier frontier = Frontier::single(n, source, &g.csr());
+  Frontier frontier = Frontier::single(n, src, &g.csr());
   std::int64_t depth = 0;
   while (!frontier.empty()) {
     ++depth;
@@ -92,6 +95,8 @@ BfsResult bfs(Eng& eng, vid_t source) {
   }
 
   eng.set_orientation(saved);
+  r.parent = g.remap().ids_to_original(std::move(r.parent));
+  r.level = g.remap().values_to_original(std::move(r.level));
   return r;
 }
 

@@ -7,6 +7,7 @@
 // inputs where the paper's graph is undirected, matching Ligra's Components.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "engine/operators.hpp"
@@ -20,7 +21,10 @@
 namespace grind::algorithms {
 
 struct CcResult {
-  /// labels[v] = propagation fixpoint label.
+  /// labels[v] = propagation fixpoint label, in original-ID space.  Under a
+  /// non-identity VertexOrdering the group labels are canonicalised to the
+  /// smallest original ID in each group (see the note at the end of
+  /// connected_components).
   std::vector<vid_t> labels;
   /// Number of distinct final labels.
   vid_t num_components = 0;
@@ -84,6 +88,26 @@ CcResult connected_components(Eng& eng) {
   vid_t comps = 0;
   for (vid_t v = 0; v < n; ++v) comps += seen[v];
   r.num_components = comps;
+
+  // The propagation fixpoint is computed over internal IDs, so under a
+  // non-identity ordering the winning (minimum) label names a different
+  // vertex than it would in the input ID space.  Canonicalise at the
+  // boundary: every label group is renamed to the smallest *original* ID it
+  // contains, then the array is un-permuted, so callers see labels that are
+  // independent of the build's VertexOrdering.  (Under the identity remap
+  // the fixpoint label is already the group's minimum, so this is skipped.)
+  const auto& remap = g.remap();
+  if (!remap.is_identity()) {
+    std::vector<vid_t> canon(n, kInvalidVertex);
+    for (vid_t v = 0; v < n; ++v) {
+      vid_t& c = canon[r.labels[v]];
+      c = std::min(c, remap.to_original(v));
+    }
+    std::vector<vid_t> labels(n);
+    for (vid_t v = 0; v < n; ++v)
+      labels[remap.to_original(v)] = canon[r.labels[v]];
+    r.labels = std::move(labels);
+  }
   return r;
 }
 

@@ -81,6 +81,9 @@ PageRankResult pagerank(Eng& eng, PageRankOptions opts = {}) {
     });
     ++r.iterations;
   }
+  // Ranks were accumulated in internal-ID space; hand them back indexed by
+  // the caller's original IDs.
+  r.rank = g.remap().values_to_original(std::move(r.rank));
   return r;
 }
 

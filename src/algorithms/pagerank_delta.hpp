@@ -128,6 +128,7 @@ PageRankDeltaResult pagerank_delta(Eng& eng, PageRankDeltaOptions opts = {}) {
     }
     frontier = std::move(next);
   }
+  r.rank = g.remap().values_to_original(std::move(r.rank));
   return r;
 }
 

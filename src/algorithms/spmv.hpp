@@ -36,7 +36,9 @@ struct SpmvOp {
 
 }  // namespace detail
 
-/// y = A·x.  x defaults to the all-ones vector when empty.
+/// y = A·x.  x defaults to the all-ones vector when empty.  Both x and y
+/// are indexed by original vertex IDs; the multiply itself runs over the
+/// graph's internal (reordered) ID space.
 template <typename Eng>
 SpmvResult spmv(Eng& eng, const std::vector<double>& x = {}) {
   const auto& g = eng.graph();
@@ -45,6 +47,7 @@ SpmvResult spmv(Eng& eng, const std::vector<double>& x = {}) {
   std::vector<double> xv = x;
   if (xv.empty()) xv.assign(n, 1.0);
   if (xv.size() != n) throw std::invalid_argument("spmv: |x| != |V|");
+  xv = g.remap().values_to_internal(std::move(xv));
 
   SpmvResult r;
   r.y.assign(n, 0.0);
@@ -52,6 +55,7 @@ SpmvResult spmv(Eng& eng, const std::vector<double>& x = {}) {
 
   Frontier all = Frontier::all(n, &g.csr());
   eng.edge_map(all, detail::SpmvOp{xv.data(), r.y.data()});
+  r.y = g.remap().values_to_original(std::move(r.y));
   return r;
 }
 

@@ -1,0 +1,165 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sys/parallel.hpp"
+
+namespace grind::graph {
+
+GraphBuilder::GraphBuilder(EdgeList el, BuildOptions opts)
+    : el_(std::move(el)),
+      opts_(opts),
+      requested_partitions_(opts.num_partitions),
+      numa_(opts.numa_domains) {}
+
+GraphBuilder& GraphBuilder::with_ordering(VertexOrdering o) {
+  if (opts_.ordering != o) {
+    // order() permutes el_ in place, so before the new ordering can be
+    // computed the edge list must be restored to original IDs — otherwise
+    // the next order() would relabel an already-relabeled list and the
+    // remap would no longer map the caller's ID space.
+    if (order_done_ && !remap_.is_identity()) {
+      el_ = apply_vertex_remap(el_, remap_, RemapDirection::kToOriginal);
+      remap_ = VertexRemap();
+    }
+    opts_.ordering = o;
+    order_done_ = partition_done_ = index_done_ = coo_done_ = pcsr_done_ =
+        false;
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::with_partitions(part_t p) {
+  if (requested_partitions_ != p) {
+    requested_partitions_ = p;
+    opts_.num_partitions = p;
+    partition_done_ = coo_done_ = pcsr_done_ = false;
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::with_coo_order(partition::EdgeOrder o) {
+  if (opts_.coo_order != o) {
+    opts_.coo_order = o;
+    coo_done_ = false;
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::with_partitioned_csr(bool on) {
+  opts_.build_partitioned_csr = on;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::order() {
+  if (order_done_) return *this;
+  remap_ = make_vertex_remap(el_, opts_.ordering);
+  if (!remap_.is_identity()) el_ = apply_vertex_remap(el_, remap_);
+  order_done_ = true;
+  return *this;
+}
+
+void GraphBuilder::resolve_partition_count() {
+  // The paper's 384 by default, rounded to a NUMA-admissible multiple, but
+  // capped so that (a) alignment stays non-degenerate (each partition ≥ one
+  // bitmap word of vertices) and (b) partitions hold enough edges that
+  // per-partition scheduling overhead does not dominate on small graphs.
+  part_t p = requested_partitions_;
+  if (p == 0) {
+    const vid_t align = std::max<vid_t>(opts_.boundary_align, 1);
+    const part_t max_by_align =
+        static_cast<part_t>(std::max<vid_t>(1, el_.num_vertices() / align));
+    constexpr eid_t kMinEdgesPerPartition = 4096;
+    const part_t max_by_edges = static_cast<part_t>(
+        std::max<eid_t>(static_cast<eid_t>(num_threads()),
+                        el_.num_edges() / kMinEdgesPerPartition));
+    p = std::min(
+        {BuildOptions::kDefaultPartitions, max_by_align, max_by_edges});
+  }
+  opts_.num_partitions = numa_.admissible_partitions(p);
+}
+
+GraphBuilder& GraphBuilder::partition() {
+  order();
+  if (partition_done_) return *this;
+  resolve_partition_count();
+
+  partition::PartitionOptions popts;
+  popts.by = partition::PartitionBy::kDestination;
+  popts.boundary_align = opts_.boundary_align;
+  popts.balance = partition::BalanceMode::kEdges;
+  part_edges_ = partition::make_partitioning(el_, opts_.num_partitions, popts);
+  popts.balance = partition::BalanceMode::kVertices;
+  part_vertices_ =
+      partition::make_partitioning(el_, opts_.num_partitions, popts);
+  partition_done_ = true;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::layouts() {
+  partition();
+  if (!index_done_) {
+    csr_ = Csr::build(el_, Adjacency::kOut);
+    csc_ = Csr::build(el_, Adjacency::kIn);
+    index_done_ = true;
+  }
+  if (!coo_done_) {
+    coo_ = partition::PartitionedCoo::build(el_, part_edges_, opts_.coo_order);
+    coo_done_ = true;
+  }
+  if (opts_.build_partitioned_csr) {
+    if (!pcsr_done_) {
+      pcsr_ = std::make_unique<partition::PartitionedCsr>(
+          partition::PartitionedCsr::build(el_, part_edges_));
+      pcsr_done_ = true;
+    }
+  } else {
+    pcsr_.reset();
+    pcsr_done_ = false;
+  }
+  return *this;
+}
+
+const EdgeList& GraphBuilder::edge_list() { return order().el_; }
+const VertexRemap& GraphBuilder::remap() { return order().remap_; }
+const partition::Partitioning& GraphBuilder::partitioning_edges() {
+  return partition().part_edges_;
+}
+const partition::Partitioning& GraphBuilder::partitioning_vertices() {
+  return partition().part_vertices_;
+}
+
+Graph GraphBuilder::build() & {
+  layouts();
+  Graph g;
+  g.el_ = el_;
+  g.opts_ = opts_;
+  g.remap_ = remap_;
+  g.csr_ = csr_;
+  g.csc_ = csc_;
+  g.part_edges_ = part_edges_;
+  g.part_vertices_ = part_vertices_;
+  g.coo_ = coo_;
+  if (pcsr_) g.pcsr_ = std::make_unique<partition::PartitionedCsr>(*pcsr_);
+  g.numa_ = numa_;
+  return g;
+}
+
+Graph GraphBuilder::build() && {
+  layouts();
+  Graph g;
+  g.el_ = std::move(el_);
+  g.opts_ = opts_;
+  g.remap_ = std::move(remap_);
+  g.csr_ = std::move(csr_);
+  g.csc_ = std::move(csc_);
+  g.part_edges_ = std::move(part_edges_);
+  g.part_vertices_ = std::move(part_vertices_);
+  g.coo_ = std::move(coo_);
+  g.pcsr_ = std::move(pcsr_);
+  g.numa_ = numa_;
+  return g;
+}
+
+}  // namespace grind::graph

@@ -1,0 +1,91 @@
+// Staged graph-construction pipeline:  order → partition → layouts.
+//
+// Graph::build used to be a monolithic constructor; this class splits it
+// into three cached stages so that callers varying one knob do not pay for
+// the stages it does not touch:
+//
+//   order      apply the BuildOptions::ordering vertex relabeling to the
+//              edge list and record the VertexRemap (reorder.hpp);
+//   partition  resolve the partition count and build both the edge- and
+//              vertex-balanced partitionings over the *ordered* ID space;
+//   layouts    build the CSR/CSC indexes, the partitioned COO, and (on
+//              request) the partitioned pruned CSR.
+//
+// Stages run lazily and are memoised; the with_*() setters invalidate
+// exactly the downstream state they affect (changing the COO edge order
+// rebuilds only the COO bucket sort — the ordering, partitionings, and
+// CSR/CSC indexes are reused).  `build() &` copies the cached products into
+// a Graph and leaves the builder reusable, which is what lets
+// bench_fig7_sort_order sweep vertex orderings × edge orders without
+// rebuilding unrelated stages; `build() &&` moves them out.
+//
+// Known tradeoff: the lvalue build() deep-copies the cached stage products
+// (memcpy of large arrays) rather than sharing them — cheap next to the
+// sorts it avoids re-running, but it transiently doubles the graph's
+// footprint.  Sweeps that are memory-bound should drop each Graph before
+// the next build(), or use the rvalue overload for the final point.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "graph/reorder.hpp"
+
+namespace grind::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(EdgeList el, BuildOptions opts = {});
+
+  // ---- pipeline configuration (each invalidates its downstream stages) ----
+  GraphBuilder& with_ordering(VertexOrdering o);
+  /// 0 = auto (paper default 384, capped by alignment and edge count).
+  GraphBuilder& with_partitions(part_t p);
+  GraphBuilder& with_coo_order(partition::EdgeOrder o);
+  GraphBuilder& with_partitioned_csr(bool on);
+
+  // ---- stages (idempotent; each runs its prerequisites) ----
+  GraphBuilder& order();
+  GraphBuilder& partition();
+  GraphBuilder& layouts();
+
+  // ---- inspection between stages ----
+  [[nodiscard]] const BuildOptions& options() const { return opts_; }
+  /// The ordered edge list (runs order()).
+  const EdgeList& edge_list();
+  /// The remap of the configured ordering (runs order()).
+  const VertexRemap& remap();
+  /// Partitionings over the ordered ID space (runs partition()).
+  const partition::Partitioning& partitioning_edges();
+  const partition::Partitioning& partitioning_vertices();
+
+  /// Finish pending stages and assemble a Graph.  The lvalue overload
+  /// copies the cached stage products so the builder stays reusable; the
+  /// rvalue overload moves them (what Graph::build uses).
+  [[nodiscard]] Graph build() &;
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  void resolve_partition_count();
+
+  EdgeList el_;  // ordered in place once order() has run
+  BuildOptions opts_;
+  part_t requested_partitions_;  // as configured; opts_ holds the resolved P
+  NumaModel numa_;
+
+  VertexRemap remap_;
+  partition::Partitioning part_edges_;
+  partition::Partitioning part_vertices_;
+  Csr csr_;
+  Csr csc_;
+  partition::PartitionedCoo coo_;
+  std::unique_ptr<partition::PartitionedCsr> pcsr_;
+
+  bool order_done_ = false;
+  bool partition_done_ = false;
+  bool index_done_ = false;  // CSR + CSC
+  bool coo_done_ = false;
+  bool pcsr_done_ = false;
+};
+
+}  // namespace grind::graph

@@ -1,56 +1,25 @@
 #include "graph/graph.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "sys/parallel.hpp"
+#include "graph/builder.hpp"
 
 namespace grind::graph {
 
 Graph Graph::build(EdgeList el, BuildOptions opts) {
-  Graph g;
-  g.numa_ = NumaModel(opts.numa_domains);
+  // Monolithic entry point kept for the common case; the staged pipeline
+  // (and its partial-rebuild caching) lives in GraphBuilder.
+  return GraphBuilder(std::move(el), opts).build();
+}
 
-  // Resolve the partition count: the paper's 384 by default, rounded to a
-  // NUMA-admissible multiple, but capped so that (a) alignment stays
-  // non-degenerate (each partition ≥ one bitmap word of vertices) and
-  // (b) partitions hold enough edges that per-partition scheduling overhead
-  // does not dominate on small graphs.
-  if (opts.num_partitions == 0) {
-    const vid_t align = std::max<vid_t>(opts.boundary_align, 1);
-    const part_t max_by_align = static_cast<part_t>(
-        std::max<vid_t>(1, el.num_vertices() / align));
-    constexpr eid_t kMinEdgesPerPartition = 4096;
-    const part_t max_by_edges = static_cast<part_t>(std::max<eid_t>(
-        static_cast<eid_t>(num_threads()),
-        el.num_edges() / kMinEdgesPerPartition));
-    opts.num_partitions =
-        std::min({BuildOptions::kDefaultPartitions, max_by_align,
-                  max_by_edges});
+vid_t Graph::max_out_degree_source() const {
+  vid_t best = 0;
+  for (vid_t v = 1; v < num_vertices(); ++v) {
+    const eid_t dv = out_degree(v);
+    const eid_t db = out_degree(best);
+    if (dv > db || (dv == db && to_original(v) < to_original(best))) best = v;
   }
-  opts.num_partitions = g.numa_.admissible_partitions(opts.num_partitions);
-  g.opts_ = opts;
-
-  g.csr_ = Csr::build(el, Adjacency::kOut);
-  g.csc_ = Csr::build(el, Adjacency::kIn);
-
-  partition::PartitionOptions popts;
-  popts.by = partition::PartitionBy::kDestination;
-  popts.boundary_align = opts.boundary_align;
-  popts.balance = partition::BalanceMode::kEdges;
-  g.part_edges_ =
-      partition::make_partitioning(el, opts.num_partitions, popts);
-  popts.balance = partition::BalanceMode::kVertices;
-  g.part_vertices_ =
-      partition::make_partitioning(el, opts.num_partitions, popts);
-
-  g.coo_ = partition::PartitionedCoo::build(el, g.part_edges_, opts.coo_order);
-  if (opts.build_partitioned_csr) {
-    g.pcsr_ = std::make_unique<partition::PartitionedCsr>(
-        partition::PartitionedCsr::build(el, g.part_edges_));
-  }
-
-  g.el_ = std::move(el);
-  return g;
+  return to_original(best);
 }
 
 }  // namespace grind::graph

@@ -19,6 +19,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "graph/reorder.hpp"
 #include "partition/partitioned_coo.hpp"
 #include "partition/partitioned_csr.hpp"
 #include "partition/partitioner.hpp"
@@ -29,6 +30,10 @@ namespace grind::graph {
 
 /// Build-time configuration for the composite graph.
 struct BuildOptions {
+  /// Vertex relabeling applied before partitioning (pipeline stage 1); the
+  /// resulting VertexRemap is carried by the Graph and algorithm entry
+  /// points translate so callers always speak original IDs.
+  VertexOrdering ordering = VertexOrdering::kOriginal;
   /// COO partition count; 0 = auto (the paper's default 384, rounded to a
   /// NUMA-admissible multiple and capped by what alignment allows).
   part_t num_partitions = 0;
@@ -47,6 +52,8 @@ struct BuildOptions {
   static constexpr part_t kDefaultPartitions = 384;
 };
 
+class GraphBuilder;
+
 /// Immutable composite graph.  Movable, non-copyable (layouts are large).
 class Graph {
  public:
@@ -56,8 +63,10 @@ class Graph {
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
-  /// Build every layout from an edge list.  The edge list is retained for
-  /// analysis passes (replication counts, relayout experiments).
+  /// Build every layout from an edge list by running the full GraphBuilder
+  /// pipeline (order → partition → layouts).  The (ordered) edge list is
+  /// retained for analysis passes (replication counts, relayout
+  /// experiments).  Stage-by-stage construction: graph/builder.hpp.
   static Graph build(EdgeList el, BuildOptions opts = {});
 
   [[nodiscard]] vid_t num_vertices() const { return csr_.num_vertices(); }
@@ -90,15 +99,38 @@ class Graph {
   }
 
   [[nodiscard]] const NumaModel& numa() const { return numa_; }
+  /// The retained edge list, in *internal* ID space (ordered by the
+  /// build's VertexOrdering; identical to the input under kOriginal).
   [[nodiscard]] const EdgeList& edge_list() const { return el_; }
   [[nodiscard]] const BuildOptions& build_options() const { return opts_; }
+
+  /// The original↔internal vertex-ID bijection of the build's ordering.
+  /// Every layout accessor above speaks internal IDs; user-facing
+  /// boundaries (algorithm sources/results, ggtool) speak original IDs and
+  /// translate through this remap.
+  [[nodiscard]] const VertexRemap& remap() const { return remap_; }
+  [[nodiscard]] vid_t to_internal(vid_t original) const {
+    return remap_.to_internal(original);
+  }
+  [[nodiscard]] vid_t to_original(vid_t internal) const {
+    return remap_.to_original(internal);
+  }
 
   [[nodiscard]] eid_t out_degree(vid_t v) const { return csr_.degree(v); }
   [[nodiscard]] eid_t in_degree(vid_t v) const { return csc_.degree(v); }
 
+  /// The conventional BFS/BC/SSSP source: a vertex of maximal out-degree,
+  /// ties broken by smallest original ID so the pick names the same vertex
+  /// under every VertexOrdering of the same graph.  Returned in
+  /// original-ID space, ready to pass to the algorithms.
+  [[nodiscard]] vid_t max_out_degree_source() const;
+
  private:
+  friend class GraphBuilder;
+
   EdgeList el_;
   BuildOptions opts_;
+  VertexRemap remap_;
   Csr csr_;
   Csr csc_;
   partition::Partitioning part_edges_;

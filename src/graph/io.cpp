@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace grind::graph {
 
@@ -24,10 +25,19 @@ EdgeList load_snap(const std::string& path) {
   EdgeList el;
   std::string line;
   std::size_t lineno = 0;
+  constexpr std::string_view kWs = " \t\r\f\v";
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ss(line);
+    // Real-world SNAP dumps arrive with CRLF endings, stray indentation,
+    // trailing blanks, and whitespace-only lines; trim both ends before
+    // classifying the line so none of those trip the parser.
+    std::string_view sv = line;
+    const auto b = sv.find_first_not_of(kWs);
+    if (b == std::string_view::npos) continue;  // blank / whitespace-only
+    sv.remove_prefix(b);
+    sv.remove_suffix(sv.size() - 1 - sv.find_last_not_of(kWs));
+    if (sv[0] == '#' || sv[0] == '%') continue;
+    std::istringstream ss{std::string(sv)};
     vid_t src = 0, dst = 0;
     weight_t w = 1.0f;
     if (!(ss >> src >> dst)) {

@@ -12,8 +12,9 @@
 namespace grind::graph {
 
 /// Load a SNAP text edge list: one "src dst [weight]" pair per line,
-/// '#'-prefixed comment lines ignored.  Vertex ids are used as-is (the file
-/// defines the id space); missing weights default to 1.
+/// '#'/'%'-prefixed comment lines ignored.  Vertex ids are used as-is (the
+/// file defines the id space); missing weights default to 1.  Tolerant of
+/// CRLF line endings, leading/trailing whitespace, and blank lines.
 /// Throws std::runtime_error on unreadable files or parse errors.
 EdgeList load_snap(const std::string& path);
 

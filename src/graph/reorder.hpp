@@ -1,0 +1,129 @@
+// Pluggable vertex reordering — stage 1 of the GraphBuilder pipeline.
+//
+// The paper manufactures memory locality at graph-build time (partition-by-
+// destination, intra-partition edge sort, §IV-C).  Locality-based vertex
+// *relabeling* composes with that: the builder may renumber the vertex set
+// before partitioning so that vertices accessed together are numbered
+// together.  The renumbering is captured in a VertexRemap owned by the
+// Graph; everything outside the traversal kernels keeps speaking the input
+// file's ("original") ID space, and the algorithm entry points translate at
+// the boundary:
+//
+//   caller (original IDs)
+//        │  sources translated via VertexRemap::to_internal
+//        ▼
+//   engine + layouts (internal IDs — the dense, partitioned, cache-friendly
+//        │            space every CSR/CSC/COO index lives in)
+//        ▼
+//   results un-permuted via VertexRemap::to_original back to original IDs
+//
+// kOriginal is a true identity: no arrays are materialised and every
+// translation compiles down to a pass-through, so the default build pays
+// nothing for the flexibility.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "sys/types.hpp"
+
+namespace grind::graph {
+
+/// Vertex orderings selectable at build time (BuildOptions::ordering).
+enum class VertexOrdering {
+  kOriginal,    ///< identity — internal IDs equal input IDs
+  kDegreeDesc,  ///< hub sort: descending out-degree, ties by original ID
+  kHilbert,     ///< Hilbert curve over the √n×√n grid of the original IDs
+  kChildOrder,  ///< BFS visit order from the top-degree hub
+};
+
+/// Short stable name, e.g. for bench JSON rows and ggtool --order.
+const char* ordering_name(VertexOrdering o);
+
+/// Inverse of ordering_name, also accepting the ggtool spellings
+/// ("original", "degree", "hilbert", "child").  nullopt on unknown names.
+std::optional<VertexOrdering> parse_ordering(std::string_view name);
+
+/// All orderings in a fixed sweep order (kOriginal first).
+const std::vector<VertexOrdering>& all_orderings();
+
+/// Bijection between the caller's original vertex IDs and the internal IDs
+/// the layouts are built over.  An identity remap stores no arrays.
+class VertexRemap {
+ public:
+  VertexRemap() = default;
+
+  /// Identity over n vertices (no permutation arrays materialised).
+  static VertexRemap identity(vid_t n);
+
+  /// Build from the internal→original permutation: to_original[i] is the
+  /// original ID of internal vertex i.  Collapses to identity() when the
+  /// permutation is the identity.  Throws std::invalid_argument if
+  /// `to_original` is not a permutation of [0, n).
+  static VertexRemap from_internal_order(std::vector<vid_t> to_original);
+
+  [[nodiscard]] bool is_identity() const { return to_original_.empty(); }
+  [[nodiscard]] vid_t size() const { return n_; }
+
+  [[nodiscard]] vid_t to_internal(vid_t original) const {
+    return is_identity() ? original : to_internal_[original];
+  }
+  [[nodiscard]] vid_t to_original(vid_t internal) const {
+    return is_identity() ? internal : to_original_[internal];
+  }
+
+  /// Re-index an internal-indexed per-vertex array into original-ID space.
+  /// Identity remaps pass the vector through unchanged (moved, no copy).
+  template <typename T>
+  [[nodiscard]] std::vector<T> values_to_original(std::vector<T> vals) const {
+    if (is_identity()) return vals;
+    std::vector<T> out(vals.size());
+    for (std::size_t v = 0; v < vals.size(); ++v)
+      out[to_original_[v]] = std::move(vals[v]);
+    return out;
+  }
+
+  /// Re-index an original-indexed per-vertex array into internal space
+  /// (e.g. an SpMV input vector supplied by the caller).
+  template <typename T>
+  [[nodiscard]] std::vector<T> values_to_internal(std::vector<T> vals) const {
+    if (is_identity()) return vals;
+    std::vector<T> out(vals.size());
+    for (std::size_t v = 0; v < vals.size(); ++v)
+      out[to_internal_[v]] = std::move(vals[v]);
+    return out;
+  }
+
+  /// Re-index an internal-indexed array of vertex *IDs* (BFS parents):
+  /// both the index and the stored ID are translated; kInvalidVertex
+  /// sentinels pass through.
+  [[nodiscard]] std::vector<vid_t> ids_to_original(
+      std::vector<vid_t> ids) const;
+
+ private:
+  vid_t n_ = 0;
+  std::vector<vid_t> to_internal_;  // original → internal; empty if identity
+  std::vector<vid_t> to_original_;  // internal → original; empty if identity
+};
+
+/// Compute the remap realising `ordering` on `el` (deterministic: ties
+/// always break by ascending original ID).
+VertexRemap make_vertex_remap(const EdgeList& el, VertexOrdering ordering);
+
+/// Which way apply_vertex_remap translates endpoint IDs.
+enum class RemapDirection {
+  kToInternal,  ///< original → internal (the order stage)
+  kToOriginal,  ///< internal → original (undo, e.g. before re-ordering)
+};
+
+/// Relabel every endpoint of `el` across the remap.  The vertex count is
+/// unchanged; edge order is preserved (the later pipeline stages impose
+/// their own orders).
+EdgeList apply_vertex_remap(const EdgeList& el, const VertexRemap& remap,
+                            RemapDirection dir = RemapDirection::kToInternal);
+
+}  // namespace grind::graph

@@ -50,6 +50,36 @@ TEST_F(IoTest, SnapSkipsCommentsAndBlankLines) {
   EXPECT_EQ(el.num_vertices(), 3u);
 }
 
+TEST_F(IoTest, SnapToleratesCrlfWhitespaceAndBlankLines) {
+  // A deliberately messy real-world-style file: CRLF endings, indented
+  // comments, leading tabs, trailing blanks, and whitespace-only lines.
+  const auto path = temp_path("messy.txt");
+  std::ofstream out(path, std::ios::binary);  // binary: keep \r\n verbatim
+  out << "# exported from a Windows box\r\n"
+      << "\r\n"
+      << "   \t \r\n"
+      << "0\t1\r\n"
+      << "  1 2  \r\n"
+      << "\t2\t3\t4.5\t\r\n"
+      << "   % indented percent comment\r\n"
+      << "    # indented hash comment\n"
+      << " 3 0\n"
+      << "\n";
+  out.close();
+  const EdgeList el = load_snap(path);
+  ASSERT_EQ(el.num_edges(), 4u);
+  EXPECT_EQ(el.num_vertices(), 4u);
+  EXPECT_EQ(el.edge(0).src, 0u);
+  EXPECT_EQ(el.edge(0).dst, 1u);
+  EXPECT_EQ(el.edge(1).src, 1u);
+  EXPECT_EQ(el.edge(1).dst, 2u);
+  EXPECT_EQ(el.edge(2).src, 2u);
+  EXPECT_EQ(el.edge(2).dst, 3u);
+  EXPECT_FLOAT_EQ(el.edge(2).weight, 4.5f);
+  EXPECT_EQ(el.edge(3).src, 3u);
+  EXPECT_EQ(el.edge(3).dst, 0u);
+}
+
 TEST_F(IoTest, SnapParsesOptionalWeights) {
   const auto path = temp_path("weighted.txt");
   std::ofstream out(path);

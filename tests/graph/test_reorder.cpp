@@ -1,0 +1,160 @@
+#include "graph/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace grind::graph {
+namespace {
+
+bool is_permutation_of_n(const VertexRemap& r) {
+  const vid_t n = r.size();
+  std::vector<unsigned char> seen(n, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t i = r.to_internal(v);
+    if (i >= n || seen[i]) return false;
+    seen[i] = 1;
+    if (r.to_original(i) != v) return false;  // inverse consistency
+  }
+  return true;
+}
+
+TEST(VertexRemap, IdentityStoresNothingAndPassesThrough) {
+  const VertexRemap r = VertexRemap::identity(100);
+  EXPECT_TRUE(r.is_identity());
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_EQ(r.to_internal(42), 42u);
+  EXPECT_EQ(r.to_original(42), 42u);
+  std::vector<int> vals = {1, 2, 3};
+  EXPECT_EQ(r.values_to_original(vals), vals);
+  EXPECT_EQ(r.values_to_internal(vals), vals);
+}
+
+TEST(VertexRemap, FromInternalOrderCollapsesIdentity) {
+  std::vector<vid_t> ident(16);
+  std::iota(ident.begin(), ident.end(), 0);
+  EXPECT_TRUE(VertexRemap::from_internal_order(std::move(ident)).is_identity());
+}
+
+TEST(VertexRemap, FromInternalOrderRejectsNonPermutations) {
+  EXPECT_THROW(VertexRemap::from_internal_order({0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(VertexRemap::from_internal_order({0, 3, 1}),
+               std::invalid_argument);
+}
+
+TEST(VertexRemap, ValuesRoundTrip) {
+  const VertexRemap r = VertexRemap::from_internal_order({2, 0, 3, 1});
+  ASSERT_FALSE(r.is_identity());
+  const std::vector<double> vals = {10.0, 11.0, 12.0, 13.0};
+  // internal-indexed -> original-indexed: out[orig of i] = vals[i]
+  const auto orig = r.values_to_original(vals);
+  EXPECT_EQ(orig, (std::vector<double>{11.0, 13.0, 10.0, 12.0}));
+  EXPECT_EQ(r.values_to_internal(orig), vals);
+}
+
+TEST(VertexRemap, IdsToOriginalMapsIndexAndValue) {
+  const VertexRemap r = VertexRemap::from_internal_order({2, 0, 3, 1});
+  // internal-indexed parents: internal 0's parent is internal 2, etc.
+  const std::vector<vid_t> internal_ids = {2, kInvalidVertex, 0, 1};
+  const auto orig = r.ids_to_original(internal_ids);
+  // internal 0 = original 2, parent internal 2 = original 3.
+  EXPECT_EQ(orig[2], 3u);
+  // internal 1 = original 0, unreached sentinel passes through.
+  EXPECT_EQ(orig[0], kInvalidVertex);
+  // internal 2 = original 3, parent internal 0 = original 2.
+  EXPECT_EQ(orig[3], 2u);
+  // internal 3 = original 1, parent internal 1 = original 0.
+  EXPECT_EQ(orig[1], 0u);
+}
+
+TEST(Reorder, OriginalOrderingIsIdentity) {
+  const EdgeList el = rmat(8, 4, 5);
+  EXPECT_TRUE(make_vertex_remap(el, VertexOrdering::kOriginal).is_identity());
+}
+
+TEST(Reorder, DegreeDescSortsHubsFirst) {
+  const EdgeList el = rmat(8, 8, 5);
+  const VertexRemap r = make_vertex_remap(el, VertexOrdering::kDegreeDesc);
+  ASSERT_TRUE(is_permutation_of_n(r));
+  const auto deg = el.out_degrees();
+  for (vid_t i = 1; i < r.size(); ++i) {
+    const eid_t prev = deg[r.to_original(i - 1)];
+    const eid_t cur = deg[r.to_original(i)];
+    ASSERT_GE(prev, cur) << "internal position " << i;
+    if (prev == cur)  // ties break by ascending original ID
+      ASSERT_LT(r.to_original(i - 1), r.to_original(i));
+  }
+}
+
+TEST(Reorder, HilbertIsDeterministicPermutation) {
+  const EdgeList el = road_lattice(12, 12, 0.05, 3);
+  const VertexRemap a = make_vertex_remap(el, VertexOrdering::kHilbert);
+  const VertexRemap b = make_vertex_remap(el, VertexOrdering::kHilbert);
+  ASSERT_TRUE(is_permutation_of_n(a));
+  for (vid_t v = 0; v < a.size(); ++v)
+    ASSERT_EQ(a.to_internal(v), b.to_internal(v));
+}
+
+TEST(Reorder, ChildOrderRootsAtTopHubAndCoversAllVertices) {
+  const EdgeList el = rmat(8, 6, 17);
+  const VertexRemap r = make_vertex_remap(el, VertexOrdering::kChildOrder);
+  ASSERT_TRUE(is_permutation_of_n(r));
+  const auto deg = el.out_degrees();
+  vid_t hub = 0;
+  for (vid_t v = 1; v < el.num_vertices(); ++v)
+    if (deg[v] > deg[hub]) hub = v;
+  EXPECT_EQ(r.to_original(0), hub);  // BFS root = internal vertex 0
+}
+
+TEST(Reorder, ChildOrderHandlesDisconnectedGraphs) {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(5, 6);      // separate component
+  el.add(3, 3);      // self-loop island (plus isolated 2, 4)
+  const VertexRemap r = make_vertex_remap(el, VertexOrdering::kChildOrder);
+  EXPECT_TRUE(is_permutation_of_n(r));
+  EXPECT_EQ(r.size(), 7u);
+}
+
+TEST(Reorder, ApplyRemapRelabelsEndpointsAndPreservesDegrees) {
+  const EdgeList el = rmat(8, 4, 29);
+  const VertexRemap r = make_vertex_remap(el, VertexOrdering::kDegreeDesc);
+  const EdgeList rel = apply_vertex_remap(el, r);
+  ASSERT_EQ(rel.num_vertices(), el.num_vertices());
+  ASSERT_EQ(rel.num_edges(), el.num_edges());
+  const auto deg = el.out_degrees();
+  const auto rdeg = rel.out_degrees();
+  for (vid_t v = 0; v < el.num_vertices(); ++v)
+    ASSERT_EQ(rdeg[r.to_internal(v)], deg[v]);
+  // Weights and edge order ride along unchanged.
+  for (eid_t i = 0; i < el.num_edges(); ++i) {
+    EXPECT_EQ(rel.edge(i).src, r.to_internal(el.edge(i).src));
+    EXPECT_EQ(rel.edge(i).dst, r.to_internal(el.edge(i).dst));
+    EXPECT_EQ(rel.edge(i).weight, el.edge(i).weight);
+  }
+}
+
+TEST(Reorder, NamesRoundTrip) {
+  for (const auto o : all_orderings()) {
+    const auto parsed = parse_ordering(ordering_name(o));
+    ASSERT_TRUE(parsed.has_value()) << ordering_name(o);
+    EXPECT_EQ(*parsed, o);
+  }
+  EXPECT_EQ(parse_ordering("degree"), VertexOrdering::kDegreeDesc);
+  EXPECT_EQ(parse_ordering("child"), VertexOrdering::kChildOrder);
+  EXPECT_FALSE(parse_ordering("bogus").has_value());
+}
+
+TEST(Reorder, EmptyGraphYieldsIdentity) {
+  const EdgeList el;
+  for (const auto o : all_orderings())
+    EXPECT_TRUE(make_vertex_remap(el, o).is_identity());
+}
+
+}  // namespace
+}  // namespace grind::graph

@@ -58,6 +58,59 @@ TEST(NumaModel, VisitOrderIsPermutationWithHomeFirst) {
     EXPECT_EQ(numa.domain_of_partition(order[i], total), home);
 }
 
+TEST(NumaModel, VisitOrderPermutationPropertyAcrossThreadAndPartitionCounts) {
+  // Property sweep: for every thread of several pool sizes and partition
+  // totals that are *not* multiples of the domain count, visit_order must
+  // (a) be a permutation of [0, total) and (b) list every own-domain
+  // partition before any foreign one.
+  NumaModel numa(4);
+  for (int total_threads : {1, 3, 4, 8, 13}) {
+    for (part_t total : {part_t{1}, part_t{5}, part_t{7}, part_t{12},
+                         part_t{13}, part_t{26}}) {
+      for (int t = 0; t < total_threads; ++t) {
+        const auto order = numa.visit_order(t, total_threads, total);
+        ASSERT_EQ(order.size(), total)
+            << "threads=" << total_threads << " t=" << t << " P=" << total;
+
+        std::vector<part_t> sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        for (part_t p = 0; p < total; ++p)
+          ASSERT_EQ(sorted[p], p) << "not a permutation: threads="
+                                  << total_threads << " t=" << t
+                                  << " P=" << total;
+
+        const int home = numa.domain_of_thread(t, total_threads);
+        bool seen_foreign = false;
+        for (part_t p : order) {
+          const bool own = numa.domain_of_partition(p, total) == home;
+          if (!own) seen_foreign = true;
+          ASSERT_FALSE(own && seen_foreign)
+              << "own-domain partition " << p << " after a foreign one: "
+              << "threads=" << total_threads << " t=" << t << " P=" << total;
+        }
+      }
+    }
+  }
+}
+
+TEST(NumaModel, VisitOrderOwnDomainPrefixMatchesDomainSize) {
+  // The own-domain prefix must contain exactly the partitions the thread's
+  // domain owns, even when P is not a multiple of the domain count.
+  NumaModel numa(4);
+  const part_t total = 10;  // domains own {3,3,2,2} under block distribution
+  for (int t = 0; t < 8; ++t) {
+    const int home = numa.domain_of_thread(t, 8);
+    part_t own = 0;
+    for (part_t p = 0; p < total; ++p)
+      own += numa.domain_of_partition(p, total) == home ? 1 : 0;
+    const auto order = numa.visit_order(t, 8, total);
+    for (part_t i = 0; i < own; ++i)
+      EXPECT_EQ(numa.domain_of_partition(order[i], total), home);
+    for (part_t i = own; i < total; ++i)
+      EXPECT_NE(numa.domain_of_partition(order[i], total), home);
+  }
+}
+
 TEST(NumaModel, SingleDomainDegeneratesGracefully) {
   NumaModel numa(1);
   EXPECT_EQ(numa.admissible_partitions(7), 7u);

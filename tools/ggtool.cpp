@@ -6,7 +6,12 @@
 //   ggtool partition-report <graph> <partitions>
 //   ggtool run      <BC|CC|PR|BFS|PRDelta|SPMV|BF|BP> <graph>
 //                   [--partitions N] [--layout auto|csc|coo|pcsr]
+//                   [--order original|degree|hilbert|child]
 //                   [--source V] [--threads T] [--no-atomics]
+//
+// --source and all printed vertex ids are in the input file's (original) ID
+// space; --order selects the internal vertex relabeling applied by the
+// build pipeline, and the info output reports both ID spaces.
 //
 // Graph files: SNAP text edge lists (.txt/.el) or this library's binary
 // format (.bin).  Exit code 0 on success, 1 on usage errors, 2 on runtime
@@ -66,7 +71,8 @@ int usage() {
          "  ggtool stats <graph>\n"
          "  ggtool partition-report <graph> <partitions>\n"
          "  ggtool run <algo> <graph> [--partitions N] [--layout L] "
-         "[--source V] [--threads T] [--no-atomics]\n";
+         "[--order O] [--source V] [--threads T] [--no-atomics]\n"
+         "    O = original|degree|hilbert|child (vertex reordering)\n";
   return 1;
 }
 
@@ -170,6 +176,10 @@ int cmd_run(const std::vector<std::string>& args) {
       else if (l == "coo") eopts.layout = engine::Layout::kDenseCoo;
       else if (l == "pcsr") eopts.layout = engine::Layout::kPartitionedCsr;
       else return usage();
+    } else if (a == "--order") {
+      const auto o = graph::parse_ordering(next());
+      if (!o) return usage();
+      bopts.ordering = *o;
     } else if (a == "--source") {
       source = static_cast<vid_t>(std::stoul(next()));
     } else if (a == "--threads") {
@@ -189,9 +199,7 @@ int cmd_run(const std::vector<std::string>& args) {
   const double build_s = build_timer.seconds();
 
   if (source == kInvalidVertex) {
-    source = 0;
-    for (vid_t v = 1; v < g.num_vertices(); ++v)
-      if (g.out_degree(v) > g.out_degree(source)) source = v;
+    source = g.max_out_degree_source();  // original-ID space
   } else if (source >= g.num_vertices()) {
     std::fprintf(stderr, "error: --source %u out of range (graph has %u vertices)\n",
                  source, g.num_vertices());
@@ -224,9 +232,17 @@ int cmd_run(const std::vector<std::string>& args) {
   } else {
     return usage();
   }
+  const auto& pe = g.partitioning_edges();
   std::cout << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
-            << " edges, " << g.partitioning_edges().num_partitions()
-            << " partitions (built in " << Table::num(build_s, 3) << " s)\n"
+            << " edges, " << pe.num_partitions() << " partitions (built in "
+            << Table::num(build_s, 3) << " s)\n"
+            << "ordering: " << graph::ordering_name(g.build_options().ordering)
+            << ", source " << source << " (original) = "
+            << g.to_internal(source) << " (internal)\n"
+            << "partitioning: edge imbalance "
+            << Table::num(pe.edge_imbalance(), 3) << ", replication r(p) "
+            << Table::num(partition::replication_factor(g.edge_list(), pe), 3)
+            << "\n"
             << algo << " completed in " << Table::num(run_timer.seconds(), 4)
             << " s with " << num_threads() << " threads\n"
             << eng.stats_report();
