@@ -18,6 +18,10 @@
 #include "sys/atomics.hpp"
 #include "sys/types.hpp"
 
+namespace grind::graph {
+class Graph;
+}  // namespace grind::graph
+
 namespace grind::algorithms {
 
 struct BcResult {
@@ -140,5 +144,12 @@ BcResult betweenness_centrality(Eng& eng, vid_t source) {
   r.level = g.remap().values_to_original(std::move(r.level));
   return r;
 }
+
+/// Re-entrant entry point: the same computation on a caller-owned
+/// workspace instead of an engine-owned slot; safe for concurrent use on
+/// one shared immutable Graph with one distinct workspace per call.
+BcResult betweenness_centrality(const graph::Graph& g,
+                                engine::TraversalWorkspace& ws, vid_t source,
+                                const engine::Options& opts = {});
 
 }  // namespace grind::algorithms

@@ -15,6 +15,10 @@
 #include "sys/atomics.hpp"
 #include "sys/types.hpp"
 
+namespace grind::graph {
+class Graph;
+}  // namespace grind::graph
+
 namespace grind::algorithms {
 
 inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
@@ -83,5 +87,12 @@ BellmanFordResult bellman_ford(Eng& eng, vid_t source) {
   r.dist = g.remap().values_to_original(std::move(r.dist));
   return r;
 }
+
+/// Re-entrant entry point: the same computation on a caller-owned
+/// workspace instead of an engine-owned slot; safe for concurrent use on
+/// one shared immutable Graph with one distinct workspace per call.
+BellmanFordResult bellman_ford(const graph::Graph& g,
+                               engine::TraversalWorkspace& ws, vid_t source,
+                               const engine::Options& opts = {});
 
 }  // namespace grind::algorithms

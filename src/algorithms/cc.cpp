@@ -6,4 +6,11 @@ namespace grind::algorithms {
 
 template CcResult connected_components<engine::Engine>(engine::Engine&);
 
+CcResult connected_components(const graph::Graph& g,
+                              engine::TraversalWorkspace& ws,
+                              const engine::Options& opts) {
+  engine::Engine eng(g, opts, ws);
+  return connected_components(eng);
+}
+
 }  // namespace grind::algorithms

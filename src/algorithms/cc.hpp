@@ -18,6 +18,10 @@
 #include "sys/parallel.hpp"
 #include "sys/types.hpp"
 
+namespace grind::graph {
+class Graph;
+}  // namespace grind::graph
+
 namespace grind::algorithms {
 
 struct CcResult {
@@ -110,5 +114,12 @@ CcResult connected_components(Eng& eng) {
   }
   return r;
 }
+
+/// Re-entrant entry point: the same computation on a caller-owned
+/// workspace instead of an engine-owned slot; safe for concurrent use on
+/// one shared immutable Graph with one distinct workspace per call.
+CcResult connected_components(const graph::Graph& g,
+                              engine::TraversalWorkspace& ws,
+                              const engine::Options& opts = {});
 
 }  // namespace grind::algorithms

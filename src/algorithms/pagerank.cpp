@@ -7,4 +7,10 @@ namespace grind::algorithms {
 template PageRankResult pagerank<engine::Engine>(engine::Engine&,
                                                  PageRankOptions);
 
+PageRankResult pagerank(const graph::Graph& g, engine::TraversalWorkspace& ws,
+                        PageRankOptions popts, const engine::Options& opts) {
+  engine::Engine eng(g, opts, ws);
+  return pagerank(eng, popts);
+}
+
 }  // namespace grind::algorithms

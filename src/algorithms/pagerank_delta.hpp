@@ -23,6 +23,10 @@
 #include "sys/atomics.hpp"
 #include "sys/types.hpp"
 
+namespace grind::graph {
+class Graph;
+}  // namespace grind::graph
+
 namespace grind::algorithms {
 
 struct PageRankDeltaOptions {
@@ -131,5 +135,13 @@ PageRankDeltaResult pagerank_delta(Eng& eng, PageRankDeltaOptions opts = {}) {
   r.rank = g.remap().values_to_original(std::move(r.rank));
   return r;
 }
+
+/// Re-entrant entry point: the same computation on a caller-owned
+/// workspace instead of an engine-owned slot; safe for concurrent use on
+/// one shared immutable Graph with one distinct workspace per call.
+PageRankDeltaResult pagerank_delta(const graph::Graph& g,
+                                   engine::TraversalWorkspace& ws,
+                                   PageRankDeltaOptions popts = {},
+                                   const engine::Options& opts = {});
 
 }  // namespace grind::algorithms

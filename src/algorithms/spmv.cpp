@@ -7,4 +7,10 @@ namespace grind::algorithms {
 template SpmvResult spmv<engine::Engine>(engine::Engine&,
                                          const std::vector<double>&);
 
+SpmvResult spmv(const graph::Graph& g, engine::TraversalWorkspace& ws,
+                const std::vector<double>& x, const engine::Options& opts) {
+  engine::Engine eng(g, opts, ws);
+  return spmv(eng, x);
+}
+
 }  // namespace grind::algorithms

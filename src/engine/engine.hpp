@@ -4,6 +4,7 @@
 // force layouts ("CSR+a", "COO+na", ...) without rebuilding the graph.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "engine/edge_map.hpp"
@@ -22,6 +23,14 @@ class Engine {
   explicit Engine(const graph::Graph& g, Options opts = {})
       : graph_(&g), opts_(opts) {}
 
+  /// Bind to a caller-owned workspace instead of the engine's internal one.
+  /// This is the re-entrant form: the Engine itself is a few words and cheap
+  /// to construct per query, while the heavy pooled scratch lives in `ws`
+  /// (e.g. checked out of a service::WorkspacePool).  `ws` must outlive the
+  /// engine and must not be shared with a concurrently running traversal.
+  Engine(const graph::Graph& g, Options opts, TraversalWorkspace& ws)
+      : graph_(&g), opts_(opts), external_ws_(&ws) {}
+
   /// Apply an edge operator to the active out-edges of f (Algorithm 2).
   /// Scratch state comes from the engine's workspace, so iterative callers
   /// that recycle() retired frontiers run allocation-free at steady state.
@@ -29,7 +38,7 @@ class Engine {
   Frontier edge_map(Frontier& f, Op op) {
     return engine::edge_map(*graph_, f, std::move(op), opts_,
                             opts_.collect_stats ? &stats_ : nullptr,
-                            &workspace_);
+                            &workspace());
   }
 
   /// Apply an edge operator over the transposed graph (data flows d→s).
@@ -37,17 +46,24 @@ class Engine {
   Frontier edge_map_transpose(Frontier& f, Op op) {
     return engine::edge_map_transpose(*graph_, f, std::move(op), opts_,
                                       opts_.collect_stats ? &stats_ : nullptr,
-                                      &workspace_);
+                                      &workspace());
   }
 
-  /// The engine's traversal scratch arena.
-  [[nodiscard]] TraversalWorkspace& workspace() { return workspace_; }
+  /// The engine's traversal scratch arena (borrowed when constructed with an
+  /// external workspace, owned otherwise).  The owned workspace is created
+  /// on first use, so engines bound to an external workspace — one per
+  /// query on the service path — never allocate one.
+  [[nodiscard]] TraversalWorkspace& workspace() {
+    if (external_ws_ != nullptr) return *external_ws_;
+    if (owned_ws_ == nullptr) owned_ws_ = std::make_unique<TraversalWorkspace>();
+    return *owned_ws_;
+  }
 
   /// Retire a frontier the caller no longer needs, donating its backing
   /// storage to the workspace so the next edge_map reuses it instead of
   /// allocating.  Iterative algorithms call this on the outgoing frontier
   /// just before overwriting it with the new one.
-  void recycle(Frontier& f) { f.into_workspace(workspace_); }
+  void recycle(Frontier& f) { f.into_workspace(workspace()); }
 
   /// Declare the running algorithm's orientation (§III-D); maps to the CSC
   /// computation-range balance criterion.
@@ -94,7 +110,8 @@ class Engine {
   Options opts_;
   TraversalStats stats_;
   Orientation orientation_ = Orientation::kEdge;
-  TraversalWorkspace workspace_;
+  TraversalWorkspace* external_ws_ = nullptr;
+  std::unique_ptr<TraversalWorkspace> owned_ws_;
 };
 
 }  // namespace grind::engine

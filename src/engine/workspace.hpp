@@ -23,9 +23,13 @@
 // A workspace is not thread-safe: one workspace per concurrently running
 // traversal loop.  It may be shared freely across sequential edge_map calls
 // and across graphs (pooled buffers are keyed by size where it matters).
-// Engine owns one lazily, so all Engine-driven algorithms get steady-state
-// zero-allocation traversal without code changes; call-site workspaces are
-// for driving the kernels directly (benchmarks, baseline engines).
+// Engine owns one by default, so all Engine-driven algorithms get
+// steady-state zero-allocation traversal without code changes; an Engine
+// can instead borrow a caller-owned workspace (Engine(g, opts, ws)) — the
+// re-entrant form used by the explicit-workspace algorithm entry points
+// and service::WorkspacePool for concurrent queries over one shared graph.
+// Call-site workspaces also drive the kernels directly (benchmarks,
+// baseline engines).
 #pragma once
 
 #include <cstddef>

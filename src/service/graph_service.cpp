@@ -1,0 +1,243 @@
+#include "service/graph_service.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sys/parallel.hpp"
+#include "sys/timer.hpp"
+
+namespace grind::service {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBfs: return "BFS";
+    case Algorithm::kCc: return "CC";
+    case Algorithm::kPageRank: return "PR";
+    case Algorithm::kPageRankDelta: return "PRDelta";
+    case Algorithm::kBellmanFord: return "BF";
+    case Algorithm::kBc: return "BC";
+    case Algorithm::kSpmv: return "SPMV";
+    case Algorithm::kBeliefPropagation: return "BP";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view code) {
+  if (code == "BFS") return Algorithm::kBfs;
+  if (code == "CC") return Algorithm::kCc;
+  if (code == "PR") return Algorithm::kPageRank;
+  if (code == "PRDelta") return Algorithm::kPageRankDelta;
+  if (code == "BF") return Algorithm::kBellmanFord;
+  if (code == "BC") return Algorithm::kBc;
+  if (code == "SPMV") return Algorithm::kSpmv;
+  if (code == "BP") return Algorithm::kBeliefPropagation;
+  return std::nullopt;
+}
+
+GraphService::GraphService(graph::Graph g, ServiceConfig cfg)
+    : graph_(std::move(g)),
+      cfg_(cfg),
+      pool_(cfg.pool_capacity != 0 ? cfg.pool_capacity
+                                   : std::max<std::size_t>(1, cfg.workers)) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  // Resolve shared defaults eagerly: queries must never be the first to
+  // compute state reachable from the shared graph.
+  if (graph_.num_vertices() > 0)
+    default_source_ = graph_.max_out_degree_source();
+  workers_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+GraphService::~GraphService() { shutdown(); }
+
+void GraphService::shutdown() {
+  // Serialise whole shutdowns so two concurrent calls (or an explicit call
+  // racing the destructor) cannot both join the same threads.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_m_);
+  {
+    std::lock_guard<std::mutex> lock(queue_m_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+void GraphService::worker_loop() {
+  // Limit OpenMP parallelism for this worker only: queries run with
+  // threads_per_query-wide inner parallelism, so k workers never
+  // oversubscribe beyond k·threads_per_query.
+  ThreadLimitGuard limit(cfg_.threads_per_query);
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_m_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void GraphService::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_m_);
+    if (stopping_)
+      throw std::runtime_error("GraphService: submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+std::future<QueryResult> GraphService::submit(QueryRequest req) {
+  auto request = std::make_shared<QueryRequest>(std::move(req));
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> fut = promise->get_future();
+  enqueue([this, request, promise] {
+    auto lease = pool_.acquire();
+    QueryResult r = execute(*request, *lease);
+    lease.release();  // return the workspace before the future wakes waiters
+    record(r);
+    promise->set_value(std::move(r));
+  });
+  return fut;
+}
+
+std::vector<QueryResult> GraphService::run_batch(
+    std::vector<QueryRequest> reqs) {
+  {
+    // Fail like submit() does: without this check a post-shutdown batch
+    // would enqueue zero slices (workers_ is empty) and return fabricated
+    // default results.
+    std::lock_guard<std::mutex> lock(queue_m_);
+    if (stopping_)
+      throw std::runtime_error("GraphService: run_batch after shutdown");
+  }
+  if (reqs.empty()) return {};
+
+  // Group request indices by algorithm, keeping request order inside each
+  // group so results land back at their original positions.
+  std::map<Algorithm, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    groups[reqs[i].algorithm].push_back(i);
+
+  struct BatchState {
+    std::vector<QueryRequest> reqs;
+    std::vector<QueryResult> results;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->reqs = std::move(reqs);
+  state->results.resize(state->reqs.size());
+
+  std::vector<std::future<void>> slices;
+  for (auto& [algo, indices] : groups) {
+    (void)algo;
+    // One slice per worker (at most): each slice leases a single workspace
+    // and keeps it across all its queries, so the lease cost, the warm
+    // frontier buffers, and the engine setup amortise over the group.
+    // cfg_.workers (immutable after construction) rather than
+    // workers_.size(), which shutdown() mutates.
+    const std::size_t n_slices =
+        std::min<std::size_t>(cfg_.workers, indices.size());
+    for (std::size_t s = 0; s < n_slices; ++s) {
+      std::vector<std::size_t> mine;
+      for (std::size_t k = s; k < indices.size(); k += n_slices)
+        mine.push_back(indices[k]);
+      auto done = std::make_shared<std::promise<void>>();
+      slices.push_back(done->get_future());
+      enqueue([this, state, done, mine = std::move(mine)] {
+        auto lease = pool_.acquire();
+        for (std::size_t i : mine) {
+          state->results[i] = execute(state->reqs[i], *lease);
+          record(state->results[i]);
+        }
+        lease.release();
+        done->set_value();
+      });
+    }
+  }
+  for (auto& f : slices) f.wait();
+  {
+    std::lock_guard<std::mutex> lock(stats_m_);
+    ++stats_.batches;
+  }
+  return std::move(state->results);
+}
+
+QueryResult GraphService::execute(const QueryRequest& req,
+                                  engine::TraversalWorkspace& ws) const {
+  QueryResult r;
+  r.algorithm = req.algorithm;
+  const vid_t source =
+      req.source == kInvalidVertex ? default_source_ : req.source;
+  const bool needs_source = req.algorithm == Algorithm::kBfs ||
+                            req.algorithm == Algorithm::kBellmanFord ||
+                            req.algorithm == Algorithm::kBc;
+  if (needs_source && graph_.num_vertices() > 0 &&
+      source >= graph_.num_vertices()) {
+    r.error = "source out of range";
+    return r;
+  }
+  Timer timer;
+  try {
+    switch (req.algorithm) {
+      case Algorithm::kBfs:
+        r.value = algorithms::bfs(graph_, ws, source, cfg_.engine);
+        break;
+      case Algorithm::kCc:
+        r.value = algorithms::connected_components(graph_, ws, cfg_.engine);
+        break;
+      case Algorithm::kPageRank:
+        r.value = algorithms::pagerank(graph_, ws, req.pagerank, cfg_.engine);
+        break;
+      case Algorithm::kPageRankDelta:
+        r.value = algorithms::pagerank_delta(graph_, ws, req.pagerank_delta,
+                                             cfg_.engine);
+        break;
+      case Algorithm::kBellmanFord:
+        r.value = algorithms::bellman_ford(graph_, ws, source, cfg_.engine);
+        break;
+      case Algorithm::kBc:
+        r.value =
+            algorithms::betweenness_centrality(graph_, ws, source, cfg_.engine);
+        break;
+      case Algorithm::kSpmv:
+        r.value = algorithms::spmv(graph_, ws, req.x, cfg_.engine);
+        break;
+      case Algorithm::kBeliefPropagation:
+        r.value = algorithms::belief_propagation(graph_, ws,
+                                                 req.belief_propagation,
+                                                 cfg_.engine);
+        break;
+    }
+  } catch (const std::exception& e) {
+    r.value = std::monostate{};
+    r.error = e.what();
+  } catch (...) {
+    r.value = std::monostate{};
+    r.error = "unknown error";
+  }
+  r.seconds = timer.seconds();
+  return r;
+}
+
+void GraphService::record(const QueryResult& r) {
+  std::lock_guard<std::mutex> lock(stats_m_);
+  ++stats_.queries_completed;
+  if (!r.ok()) ++stats_.queries_failed;
+  stats_.busy_seconds += r.seconds;
+}
+
+ServiceStats GraphService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_m_);
+  return stats_;
+}
+
+}  // namespace grind::service

@@ -1,0 +1,189 @@
+// GraphService: concurrent query execution over one shared immutable Graph.
+//
+// The paper's partitioned layouts exist to make *many* traversals over one
+// read-only structure cache-friendly; this module supplies the serving
+// shape that regime implies.  A GraphService owns
+//   * one immutable Graph (all layouts + remap, built once),
+//   * a WorkspacePool of TraversalWorkspace instances (lazily grown up to a
+//     cap) so concurrent queries never share mutable scratch,
+//   * a fixed set of worker threads draining a submission queue.
+//
+// Thread-safety contract (docs/SERVICE.md):
+//   * the Graph is strictly read-only after construction — every layout
+//     accessor is const, and all lazily-computable state (partition chunk
+//     work lists, the default source) is materialised eagerly at build /
+//     service-construction time, never on first traversal;
+//   * each in-flight query gets a private Engine (a few words: options +
+//     stats + orientation) bound to a workspace leased from the pool, so
+//     per-query mutable state is thread-confined;
+//   * workers run their queries under a ThreadLimitGuard(threads_per_query),
+//     which limits OpenMP parallelism for that thread only — concurrency
+//     across queries, not oversubscription within them.
+//
+// submit() runs one query and returns a future.  run_batch() groups
+// same-algorithm requests and splits each group into per-worker slices; a
+// slice leases ONE workspace and reuses it (and the resolved default
+// source, and warm frontier buffers) across all its queries, amortising
+// per-query setup exactly the way the partition-centric literature batches
+// many sources over one partitioned structure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/belief_propagation.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/spmv.hpp"
+#include "engine/options.hpp"
+#include "graph/graph.hpp"
+#include "service/workspace_pool.hpp"
+#include "sys/types.hpp"
+
+namespace grind::service {
+
+/// The eight Table-II workloads, addressable as service queries.
+enum class Algorithm : std::uint8_t {
+  kBfs,
+  kCc,
+  kPageRank,
+  kPageRankDelta,
+  kBellmanFord,
+  kBc,
+  kSpmv,
+  kBeliefPropagation,
+};
+
+/// Paper code for the algorithm ("BFS", "CC", "PR", "PRDelta", "BF", "BC",
+/// "SPMV", "BP").
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+
+/// Inverse of algorithm_name (std::nullopt on unknown codes).
+[[nodiscard]] std::optional<Algorithm> parse_algorithm(std::string_view code);
+
+/// One query.  `source` (BFS / BF / BC) and `x` indices are in original-ID
+/// space, like every user-facing boundary; kInvalidVertex means "use the
+/// service's default source" (the max-out-degree vertex, resolved once at
+/// service construction).
+struct QueryRequest {
+  Algorithm algorithm = Algorithm::kPageRank;
+  vid_t source = kInvalidVertex;
+  algorithms::PageRankOptions pagerank{};
+  algorithms::PageRankDeltaOptions pagerank_delta{};
+  algorithms::BeliefPropagationOptions belief_propagation{};
+  std::vector<double> x;  ///< SPMV input; empty = all-ones
+};
+
+using QueryValue =
+    std::variant<std::monostate, algorithms::BfsResult, algorithms::CcResult,
+                 algorithms::PageRankResult, algorithms::PageRankDeltaResult,
+                 algorithms::BellmanFordResult, algorithms::BcResult,
+                 algorithms::SpmvResult, algorithms::BeliefPropagationResult>;
+
+struct QueryResult {
+  Algorithm algorithm = Algorithm::kPageRank;
+  QueryValue value;        ///< monostate when the query failed
+  double seconds = 0.0;    ///< execution wall-clock (excludes queueing)
+  std::string error;       ///< non-empty ⇒ the query threw
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct ServiceConfig {
+  /// Worker threads executing queries (≥ 1).
+  std::size_t workers = 4;
+  /// WorkspacePool cap; 0 = same as workers (every worker can hold a lease
+  /// simultaneously).  A smaller cap throttles concurrency below the worker
+  /// count — workers block in acquire() — which the stress tests exercise.
+  std::size_t pool_capacity = 0;
+  /// OpenMP parallelism per query (ThreadLimitGuard on each worker).  The
+  /// throughput default is 1: concurrency across queries, serial inside.
+  int threads_per_query = 1;
+  /// Engine options applied to every query's private Engine.
+  engine::Options engine{};
+};
+
+/// Aggregate execution counters (snapshot via GraphService::stats()).
+struct ServiceStats {
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t batches = 0;
+  double busy_seconds = 0.0;  ///< summed per-query execution time
+};
+
+class GraphService {
+ public:
+  /// Takes ownership of the (already-built) graph.  Resolves the default
+  /// source eagerly so no query ever mutates shared state lazily.
+  explicit GraphService(graph::Graph g, ServiceConfig cfg = {});
+  ~GraphService();
+
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  /// The shared read-only graph.
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+
+  /// Enqueue one query; the future resolves when a worker finishes it.
+  /// Query failures are reported in QueryResult::error, not as future
+  /// exceptions, so a batch of futures can be drained unconditionally.
+  [[nodiscard]] std::future<QueryResult> submit(QueryRequest req);
+
+  /// Execute a batch, grouping same-algorithm requests into per-worker
+  /// slices that share one workspace lease each; blocks until every query
+  /// finishes and returns results in request order.  Must not be called
+  /// from inside a worker (it waits on the same queue it feeds).
+  [[nodiscard]] std::vector<QueryResult> run_batch(
+      std::vector<QueryRequest> reqs);
+
+  /// Drain the queue and join the workers (idempotent; the destructor calls
+  /// it).  Further submit()/run_batch() calls throw.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const WorkspacePool& pool() const { return pool_; }
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  /// The source used when QueryRequest::source is kInvalidVertex
+  /// (original-ID space).
+  [[nodiscard]] vid_t default_source() const { return default_source_; }
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> job);
+  /// Run one query on a leased workspace (no locks held); never throws.
+  [[nodiscard]] QueryResult execute(const QueryRequest& req,
+                                    engine::TraversalWorkspace& ws) const;
+  void record(const QueryResult& r);
+
+  graph::Graph graph_;
+  ServiceConfig cfg_;
+  vid_t default_source_ = kInvalidVertex;
+  WorkspacePool pool_;
+
+  mutable std::mutex queue_m_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::mutex shutdown_m_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_m_;
+  ServiceStats stats_;
+};
+
+}  // namespace grind::service

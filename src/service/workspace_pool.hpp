@@ -1,0 +1,144 @@
+// WorkspacePool: a bounded check-out / check-in pool of TraversalWorkspace
+// instances for concurrent query execution over one shared immutable Graph.
+//
+// A TraversalWorkspace is deliberately not thread-safe (one workspace per
+// running traversal loop), so shared-graph concurrency needs exactly this
+// shape: N queries in flight ⇒ N workspaces in use, each thread-confined
+// for the duration of its query.  The pool grows lazily — workspaces are
+// created on demand up to a fixed cap, after which acquire() blocks until a
+// lease is returned — so a service that never sees more than k concurrent
+// queries only ever pays for k workspaces, and each workspace's internal
+// buffer pools stay warm across the many queries it serves over its
+// lifetime (the whole point of PR 1's zero-allocation steady state).
+//
+// Leases are RAII: destroying a Lease returns the workspace even when the
+// query throws, so an algorithm failure can never drain the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "engine/workspace.hpp"
+
+namespace grind::service {
+
+class WorkspacePool {
+ public:
+  /// A pool that will create at most `cap` workspaces (cap is clamped to at
+  /// least 1; a zero-capacity pool could never serve a query).
+  explicit WorkspacePool(std::size_t cap) : cap_(cap == 0 ? 1 : cap) {
+    idle_.reserve(cap_);
+  }
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Exclusive RAII hold on one workspace.  Movable; returns the workspace
+  /// to the pool on destruction (exception-safe by construction).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          ws_(std::move(other.ws_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        ws_ = std::move(other.ws_);
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    [[nodiscard]] bool valid() const { return ws_ != nullptr; }
+    [[nodiscard]] engine::TraversalWorkspace& operator*() { return *ws_; }
+    [[nodiscard]] engine::TraversalWorkspace* operator->() { return ws_.get(); }
+    [[nodiscard]] engine::TraversalWorkspace* get() { return ws_.get(); }
+
+    /// Return the workspace early (idempotent).
+    void release() {
+      if (pool_ != nullptr && ws_ != nullptr)
+        pool_->check_in(std::move(ws_));
+      pool_ = nullptr;
+      ws_ = nullptr;
+    }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool,
+          std::unique_ptr<engine::TraversalWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<engine::TraversalWorkspace> ws_;
+  };
+
+  /// Check a workspace out, blocking while all `capacity()` workspaces are
+  /// leased.  Lazily creates a new workspace when none is idle but the cap
+  /// has not been reached.
+  [[nodiscard]] Lease acquire() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return !idle_.empty() || created_ < cap_; });
+    return take(lock);
+  }
+
+  /// Non-blocking check-out; std::nullopt when the pool is exhausted.
+  [[nodiscard]] std::optional<Lease> try_acquire() {
+    std::unique_lock<std::mutex> lock(m_);
+    if (idle_.empty() && created_ >= cap_) return std::nullopt;
+    return take(lock);
+  }
+
+  /// Maximum number of workspaces this pool will ever create.
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  /// Workspaces created so far (monotone, ≤ capacity()).
+  [[nodiscard]] std::size_t created() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return created_;
+  }
+  /// Idle workspaces available for immediate acquisition.
+  [[nodiscard]] std::size_t available() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return idle_.size() + (cap_ - created_);
+  }
+  /// Workspaces currently leased out.
+  [[nodiscard]] std::size_t in_use() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return created_ - idle_.size();
+  }
+
+ private:
+  Lease take(std::unique_lock<std::mutex>&) {
+    std::unique_ptr<engine::TraversalWorkspace> ws;
+    if (!idle_.empty()) {
+      ws = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      ws = std::make_unique<engine::TraversalWorkspace>();
+      ++created_;
+    }
+    return Lease(this, std::move(ws));
+  }
+
+  void check_in(std::unique_ptr<engine::TraversalWorkspace> ws) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      idle_.push_back(std::move(ws));
+    }
+    cv_.notify_one();
+  }
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<engine::TraversalWorkspace>> idle_;
+  std::size_t created_ = 0;
+  const std::size_t cap_;
+};
+
+}  // namespace grind::service

@@ -1,23 +1,58 @@
 #include "sys/parallel.hpp"
 
+#include <atomic>
+
 namespace grind {
 
 namespace {
-// Cached so num_threads() is cheap inside hot loops.  OpenMP's
-// omp_get_max_threads already caches, but keeping our own copy lets the
-// ThreadCountGuard semantics stay exact even under nested regions.
-int g_threads = 0;
+// Process-wide thread count, cached so num_threads() is cheap inside hot
+// loops.  Atomic because the first traversal may come from several service
+// worker threads at once, and the lazy first-use initialisation must not be
+// a data race (found by the GraphService re-entrancy audit).
+std::atomic<int> g_threads{0};
+
+// Per-thread limit consulted before the global: lets one thread run its
+// traversals serially (or with a smaller team) while others stay parallel.
+thread_local int tl_thread_limit = 0;
 }  // namespace
 
 int num_threads() {
-  if (g_threads == 0) g_threads = omp_get_max_threads();
-  return g_threads;
+  if (tl_thread_limit > 0) return tl_thread_limit;
+  return process_num_threads();
+}
+
+int process_num_threads() {
+  int n = g_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = omp_get_max_threads();
+    g_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
 }
 
 void set_num_threads(int n) {
   if (n < 1) n = 1;
-  g_threads = n;
+  g_threads.store(n, std::memory_order_relaxed);
   omp_set_num_threads(n);
+}
+
+int thread_limit() { return tl_thread_limit; }
+
+void set_thread_limit(int n) { tl_thread_limit = n < 0 ? 0 : n; }
+
+ThreadLimitGuard::ThreadLimitGuard(int n)
+    : saved_limit_(tl_thread_limit), saved_omp_(omp_get_max_threads()) {
+  if (n < 1) n = 1;
+  tl_thread_limit = n;
+  // omp_set_num_threads writes the calling thread's nthreads ICV, so raw
+  // pragmas executed by this thread (kernels, exclusive_scan) honour the
+  // limit too; other threads' ICVs are untouched.
+  omp_set_num_threads(n);
+}
+
+ThreadLimitGuard::~ThreadLimitGuard() {
+  tl_thread_limit = saved_limit_;
+  omp_set_num_threads(saved_omp_);
 }
 
 }  // namespace grind

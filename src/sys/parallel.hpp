@@ -18,17 +18,39 @@
 
 namespace grind {
 
-/// Number of worker threads the runtime will use for parallel regions.
+/// Number of worker threads the runtime will use for parallel regions
+/// launched by the *calling* thread.  A thread-local limit (ThreadLimitGuard)
+/// takes precedence over the process-wide setting, so concurrent queries can
+/// each run with their own parallelism budget; the process-wide value is
+/// stored atomically so first use from several threads at once is race-free.
 int num_threads();
 
-/// Set the number of worker threads (wraps omp_set_num_threads).
+/// The process-wide thread count, ignoring any thread-local limit; what
+/// num_threads() returns on threads with no ThreadLimitGuard active.
+int process_num_threads();
+
+/// Set the process-wide number of worker threads (wraps omp_set_num_threads).
+/// Not thread-safe in intent: call from a single-threaded phase (main, test
+/// setup), never concurrently with running traversals.
 void set_num_threads(int n);
 
-/// RAII guard that temporarily changes the thread count, restoring the
-/// previous value on destruction (used by the scalability benches).
+/// The calling thread's thread-count limit; 0 when none is set.
+int thread_limit();
+
+/// Set (n >= 1) or clear (n == 0) the calling thread's thread-count limit.
+/// Prefer ThreadLimitGuard, which also pins the OpenMP ICV and restores
+/// both on scope exit.
+void set_thread_limit(int n);
+
+/// RAII guard that temporarily changes the process-wide thread count,
+/// restoring the previous value on destruction (used by the scalability
+/// benches).
 class ThreadCountGuard {
  public:
-  explicit ThreadCountGuard(int n) : saved_(num_threads()) {
+  // Saves the raw process-wide value, not limit-aware num_threads(): a
+  // ThreadCountGuard constructed on a thread under a ThreadLimitGuard must
+  // not restore that thread's local limit into the global.
+  explicit ThreadCountGuard(int n) : saved_(process_num_threads()) {
     set_num_threads(n);
   }
   ~ThreadCountGuard() { set_num_threads(saved_); }
@@ -37,6 +59,25 @@ class ThreadCountGuard {
 
  private:
   int saved_;
+};
+
+/// RAII guard limiting parallelism for the *calling thread only*: both
+/// num_threads() (the serial-fallback checks in the primitives below) and
+/// the thread's OpenMP nthreads ICV (the raw pragmas in the traversal
+/// kernels) see `n` until the guard is destroyed.  This is how GraphService
+/// workers run many queries side by side without oversubscribing: each
+/// worker holds a ThreadLimitGuard(threads_per_query) and other threads'
+/// parallel regions are unaffected.
+class ThreadLimitGuard {
+ public:
+  explicit ThreadLimitGuard(int n);
+  ~ThreadLimitGuard();
+  ThreadLimitGuard(const ThreadLimitGuard&) = delete;
+  ThreadLimitGuard& operator=(const ThreadLimitGuard&) = delete;
+
+ private:
+  int saved_limit_;
+  int saved_omp_;
 };
 
 /// Minimum trip count below which parallel_for runs serially; avoids paying

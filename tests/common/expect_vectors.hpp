@@ -1,0 +1,28 @@
+// Shared inf-aware element-wise vector comparison for algorithm result
+// checks (used by the ordering-equivalence, differential-fuzz and service
+// stress suites).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace grind::testing {
+
+/// ASSERT that got ≈ want element-wise within `tol`, treating infinities
+/// (unreached distances) as equal-by-class.  `what` labels the failure.
+inline void expect_near_vec(const std::vector<double>& got,
+                            const std::vector<double>& want, double tol,
+                            const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isinf(want[i])) {
+      ASSERT_TRUE(std::isinf(got[i])) << what << " at v=" << i;
+    } else {
+      ASSERT_NEAR(got[i], want[i], tol) << what << " at v=" << i;
+    }
+  }
+}
+
+}  // namespace grind::testing

@@ -1,0 +1,341 @@
+// GraphService concurrency stress tests: many client threads submitting
+// mixed algorithms through one service over one shared immutable graph,
+// results cross-checked against sequential single-engine runs.  This is the
+// test layer the CI sanitizer jobs (TSan / ASan+UBSan) drive hardest.
+#include "service/graph_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "common/expect_vectors.hpp"
+
+namespace grind::service {
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+
+graph::Graph build_test_graph(graph::VertexOrdering o =
+                                  graph::VertexOrdering::kOriginal) {
+  graph::BuildOptions opts;
+  opts.num_partitions = 8;
+  opts.ordering = o;
+  return graph::Graph::build(graph::rmat(9, 8, kSeed), opts);
+}
+
+/// Sources spread across the graph (original-ID space).
+std::vector<vid_t> pick_sources(const graph::Graph& g, std::size_t k) {
+  std::vector<vid_t> s;
+  for (std::size_t i = 0; i < k; ++i)
+    s.push_back(static_cast<vid_t>((i * 97 + 13) % g.num_vertices()));
+  return s;
+}
+
+/// Sequential per-algorithm baselines computed on a private Engine.
+struct Expected {
+  std::map<vid_t, std::vector<std::int64_t>> bfs_levels;
+  std::map<vid_t, std::vector<double>> bf_dist;
+  std::vector<vid_t> cc_labels;
+  std::vector<double> pr_rank;
+  std::vector<double> spmv_y;
+
+  static Expected compute(const graph::Graph& g,
+                          const std::vector<vid_t>& sources) {
+    Expected e;
+    engine::Engine eng(g);
+    for (vid_t s : sources) {
+      e.bfs_levels[s] = algorithms::bfs(eng, s).level;
+      e.bf_dist[s] = algorithms::bellman_ford(eng, s).dist;
+    }
+    e.cc_labels = algorithms::connected_components(eng).labels;
+    e.pr_rank = algorithms::pagerank(eng).rank;
+    e.spmv_y = algorithms::spmv(eng).y;
+    return e;
+  }
+};
+
+void check_result(const QueryResult& r, const Expected& e, vid_t source) {
+  ASSERT_TRUE(r.ok()) << algorithm_name(r.algorithm) << ": " << r.error;
+  switch (r.algorithm) {
+    case Algorithm::kBfs: {
+      const auto& v = std::get<algorithms::BfsResult>(r.value);
+      ASSERT_EQ(v.level, e.bfs_levels.at(source));
+      break;
+    }
+    case Algorithm::kBellmanFord: {
+      const auto& v = std::get<algorithms::BellmanFordResult>(r.value);
+      grind::testing::expect_near_vec(v.dist, e.bf_dist.at(source), 1e-9, "BF dist");
+      break;
+    }
+    case Algorithm::kCc: {
+      const auto& v = std::get<algorithms::CcResult>(r.value);
+      ASSERT_EQ(v.labels, e.cc_labels);
+      break;
+    }
+    case Algorithm::kPageRank: {
+      const auto& v = std::get<algorithms::PageRankResult>(r.value);
+      grind::testing::expect_near_vec(v.rank, e.pr_rank, 1e-9, "PR rank");
+      break;
+    }
+    case Algorithm::kSpmv: {
+      const auto& v = std::get<algorithms::SpmvResult>(r.value);
+      grind::testing::expect_near_vec(v.y, e.spmv_y, 1e-9, "SPMV y");
+      break;
+    }
+    default:
+      FAIL() << "unexpected algorithm in stress mix";
+  }
+}
+
+TEST(ServiceStress, ManyClientsMixedAlgorithmsMatchSequential) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kQueriesPerClient = 10;
+
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  GraphService svc(build_test_graph(), cfg);
+  const auto sources = pick_sources(svc.graph(), 4);
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::pair<vid_t, std::future<QueryResult>>> pending;
+      for (std::size_t q = 0; q < kQueriesPerClient; ++q) {
+        QueryRequest req;
+        const vid_t src = sources[(c + q) % sources.size()];
+        switch ((c * kQueriesPerClient + q) % 5) {
+          case 0:
+            req.algorithm = Algorithm::kBfs;
+            req.source = src;
+            break;
+          case 1:
+            req.algorithm = Algorithm::kPageRank;
+            break;
+          case 2:
+            req.algorithm = Algorithm::kCc;
+            break;
+          case 3:
+            req.algorithm = Algorithm::kBellmanFord;
+            req.source = src;
+            break;
+          default:
+            req.algorithm = Algorithm::kSpmv;
+            break;
+        }
+        pending.emplace_back(src, svc.submit(std::move(req)));
+      }
+      for (auto& [src, fut] : pending) {
+        // gtest assertions must run on the main thread to fail the test;
+        // collect and re-assert below.
+        const QueryResult r = fut.get();
+        if (!r.ok()) failures[c] = r.error;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& f : failures) ASSERT_TRUE(f.empty()) << f;
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.queries_completed, kClients * kQueriesPerClient);
+  EXPECT_EQ(st.queries_failed, 0u);
+  EXPECT_LE(svc.pool().created(), svc.pool().capacity());
+}
+
+TEST(ServiceStress, ConcurrentResultsAreCorrect) {
+  // Same mix, but every result is verified against the sequential baseline
+  // (on the main thread, so assertion failures are reported).
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  GraphService svc(build_test_graph(), cfg);
+  const auto sources = pick_sources(svc.graph(), 4);
+  const Expected expected = Expected::compute(svc.graph(), sources);
+
+  std::vector<std::pair<vid_t, std::future<QueryResult>>> pending;
+  const Algorithm mix[] = {Algorithm::kBfs, Algorithm::kPageRank,
+                           Algorithm::kCc, Algorithm::kBellmanFord,
+                           Algorithm::kSpmv};
+  for (int round = 0; round < 8; ++round) {
+    for (const Algorithm a : mix) {
+      QueryRequest req;
+      req.algorithm = a;
+      const vid_t src = sources[round % sources.size()];
+      if (a == Algorithm::kBfs || a == Algorithm::kBellmanFord)
+        req.source = src;
+      pending.emplace_back(src, svc.submit(std::move(req)));
+    }
+  }
+  for (auto& [src, fut] : pending) check_result(fut.get(), expected, src);
+}
+
+TEST(ServiceStress, PoolSmallerThanWorkersThrottlesButCompletes) {
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.pool_capacity = 1;  // every query serialises on the single workspace
+  GraphService svc(build_test_graph(), cfg);
+  const auto sources = pick_sources(svc.graph(), 4);
+  const Expected expected = Expected::compute(svc.graph(), sources);
+
+  std::vector<std::pair<vid_t, std::future<QueryResult>>> pending;
+  for (int i = 0; i < 12; ++i) {
+    QueryRequest req;
+    req.algorithm = i % 2 == 0 ? Algorithm::kBfs : Algorithm::kPageRank;
+    const vid_t src = sources[i % sources.size()];
+    if (req.algorithm == Algorithm::kBfs) req.source = src;
+    pending.emplace_back(src, svc.submit(std::move(req)));
+  }
+  for (auto& [src, fut] : pending) check_result(fut.get(), expected, src);
+  EXPECT_EQ(svc.pool().created(), 1u);
+}
+
+TEST(ServiceStress, RunBatchGroupsSameAlgorithmAndPreservesOrder) {
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  GraphService svc(build_test_graph(), cfg);
+  const auto sources = pick_sources(svc.graph(), 8);
+  const Expected expected = Expected::compute(svc.graph(), sources);
+
+  // Interleave algorithms so grouping has to reorder work but not results.
+  std::vector<QueryRequest> reqs;
+  std::vector<vid_t> req_source;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    QueryRequest b;
+    b.algorithm = Algorithm::kBfs;
+    b.source = sources[i];
+    reqs.push_back(b);
+    req_source.push_back(sources[i]);
+
+    QueryRequest p;
+    p.algorithm = Algorithm::kPageRank;
+    reqs.push_back(p);
+    req_source.push_back(kInvalidVertex);
+
+    QueryRequest f;
+    f.algorithm = Algorithm::kBellmanFord;
+    f.source = sources[i];
+    reqs.push_back(f);
+    req_source.push_back(sources[i]);
+  }
+  const auto results = svc.run_batch(std::move(reqs));
+  ASSERT_EQ(results.size(), req_source.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Result i must correspond to request i (order preserved across the
+    // grouped execution).
+    switch (i % 3) {
+      case 0:
+        ASSERT_EQ(results[i].algorithm, Algorithm::kBfs);
+        break;
+      case 1:
+        ASSERT_EQ(results[i].algorithm, Algorithm::kPageRank);
+        break;
+      default:
+        ASSERT_EQ(results[i].algorithm, Algorithm::kBellmanFord);
+        break;
+    }
+    check_result(results[i], expected, req_source[i]);
+  }
+  EXPECT_EQ(svc.stats().batches, 1u);
+}
+
+TEST(ServiceStress, ConcurrentBatchesFromMultipleThreads) {
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  GraphService svc(build_test_graph(), cfg);
+  const auto sources = pick_sources(svc.graph(), 4);
+  const Expected expected = Expected::compute(svc.graph(), sources);
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(4);
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<QueryRequest> reqs;
+      for (int i = 0; i < 6; ++i) {
+        QueryRequest req;
+        req.algorithm = i % 2 == 0 ? Algorithm::kBfs : Algorithm::kCc;
+        if (i % 2 == 0) req.source = sources[(c + i) % sources.size()];
+        reqs.push_back(req);
+      }
+      for (const auto& r : svc.run_batch(std::move(reqs)))
+        if (!r.ok()) failures[c] = r.error;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& f : failures) ASSERT_TRUE(f.empty()) << f;
+  EXPECT_EQ(svc.stats().batches, 4u);
+  EXPECT_EQ(svc.stats().queries_failed, 0u);
+}
+
+TEST(ServiceStress, DefaultSourceIsResolvedEagerly) {
+  GraphService svc(build_test_graph());
+  EXPECT_EQ(svc.default_source(), svc.graph().max_out_degree_source());
+  QueryRequest req;
+  req.algorithm = Algorithm::kBfs;  // no source → service default
+  const auto r = svc.submit(std::move(req)).get();
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& v = std::get<algorithms::BfsResult>(r.value);
+  EXPECT_GT(v.reached, 1u);
+}
+
+TEST(ServiceStress, BadSourceReportsErrorWithoutKillingService) {
+  GraphService svc(build_test_graph());
+  QueryRequest bad;
+  bad.algorithm = Algorithm::kBfs;
+  bad.source = svc.graph().num_vertices() + 100;
+  const auto r = svc.submit(std::move(bad)).get();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(r.value));
+
+  // Service still serves good queries, and the workspace was not leaked.
+  QueryRequest good;
+  good.algorithm = Algorithm::kCc;
+  EXPECT_TRUE(svc.submit(std::move(good)).get().ok());
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+  EXPECT_EQ(svc.stats().queries_failed, 1u);
+}
+
+TEST(ServiceStress, SubmitAfterShutdownThrows) {
+  GraphService svc(build_test_graph());
+  svc.shutdown();
+  QueryRequest req;
+  req.algorithm = Algorithm::kCc;
+  EXPECT_THROW((void)svc.submit(std::move(req)), std::runtime_error);
+}
+
+TEST(ServiceStress, RunBatchAfterShutdownThrows) {
+  // Regression: a post-shutdown batch used to enqueue zero slices (the
+  // worker list is empty) and return fabricated default-success results.
+  GraphService svc(build_test_graph());
+  svc.shutdown();
+  std::vector<QueryRequest> reqs(3);
+  for (auto& r : reqs) r.algorithm = Algorithm::kCc;
+  EXPECT_THROW((void)svc.run_batch(std::move(reqs)), std::runtime_error);
+}
+
+TEST(ServiceStress, WorksUnderNonIdentityOrdering) {
+  // Results speak original IDs regardless of the internal relabeling, so a
+  // service over a Hilbert-ordered graph must agree with the identity run.
+  GraphService original(build_test_graph(graph::VertexOrdering::kOriginal));
+  GraphService hilbert(build_test_graph(graph::VertexOrdering::kHilbert));
+  const auto sources = pick_sources(original.graph(), 2);
+
+  for (vid_t s : sources) {
+    QueryRequest req;
+    req.algorithm = Algorithm::kBfs;
+    req.source = s;
+    const auto a = original.submit(QueryRequest(req)).get();
+    const auto b = hilbert.submit(QueryRequest(req)).get();
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(std::get<algorithms::BfsResult>(a.value).level,
+              std::get<algorithms::BfsResult>(b.value).level);
+  }
+}
+
+}  // namespace
+}  // namespace grind::service

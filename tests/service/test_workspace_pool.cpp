@@ -1,0 +1,139 @@
+// WorkspacePool unit tests: cap enforcement, lazy growth, workspace reuse,
+// exception safety of the RAII lease, and blocking acquire semantics.
+#include "service/workspace_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace grind::service {
+namespace {
+
+TEST(ServiceWorkspacePool, GrowsLazilyUpToCap) {
+  WorkspacePool pool(3);
+  EXPECT_EQ(pool.capacity(), 3u);
+  EXPECT_EQ(pool.created(), 0u);
+  EXPECT_EQ(pool.available(), 3u);
+
+  auto a = pool.acquire();
+  EXPECT_EQ(pool.created(), 1u);
+  auto b = pool.acquire();
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(ServiceWorkspacePool, CapIsEnforced) {
+  WorkspacePool pool(2);
+  auto a = pool.try_acquire();
+  auto b = pool.try_acquire();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Pool exhausted: a third checkout must not create beyond the cap.
+  EXPECT_FALSE(pool.try_acquire().has_value());
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.in_use(), 2u);
+
+  a->release();
+  auto c = pool.try_acquire();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(pool.created(), 2u);  // reused, not grown
+}
+
+TEST(ServiceWorkspacePool, ZeroCapacityIsClampedToOne) {
+  WorkspacePool pool(0);
+  EXPECT_EQ(pool.capacity(), 1u);
+  auto l = pool.try_acquire();
+  ASSERT_TRUE(l.has_value());
+  EXPECT_FALSE(pool.try_acquire().has_value());
+}
+
+TEST(ServiceWorkspacePool, ReleasedWorkspaceIsReusedWarm) {
+  WorkspacePool pool(2);
+  engine::TraversalWorkspace* first = nullptr;
+  {
+    auto l = pool.acquire();
+    first = l.get();
+    // Leave a pooled bitmap behind so reuse is observable as warm state.
+    l->recycle_bitmap(Bitmap(256));
+  }
+  auto l2 = pool.acquire();
+  EXPECT_EQ(l2.get(), first);
+  EXPECT_EQ(l2->pooled_bitmaps(), 1u);
+}
+
+TEST(ServiceWorkspacePool, NoLeakOnException) {
+  WorkspacePool pool(1);
+  try {
+    auto l = pool.acquire();
+    EXPECT_EQ(pool.in_use(), 1u);
+    throw std::runtime_error("query failed mid-traversal");
+  } catch (const std::runtime_error&) {
+  }
+  // The lease destructor returned the workspace on unwind.
+  EXPECT_EQ(pool.in_use(), 0u);
+  auto l = pool.try_acquire();
+  EXPECT_TRUE(l.has_value());
+}
+
+TEST(ServiceWorkspacePool, MovedFromLeaseDoesNotDoubleRelease) {
+  WorkspacePool pool(1);
+  auto a = pool.acquire();
+  WorkspacePool::Lease b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): move contract
+  EXPECT_TRUE(b.valid());
+  a.release();  // no-op on the moved-from lease
+  EXPECT_EQ(pool.in_use(), 1u);
+  b.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+  b.release();  // idempotent
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(ServiceWorkspacePool, BlockingAcquireWakesOnRelease) {
+  WorkspacePool pool(1);
+  auto held = pool.acquire();
+
+  auto waiter = std::async(std::launch::async, [&] {
+    auto l = pool.acquire();  // blocks until `held` is released
+    return l.valid();
+  });
+  // The waiter cannot finish while the only workspace is leased.
+  EXPECT_EQ(waiter.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  held.release();
+  EXPECT_TRUE(waiter.get());
+}
+
+TEST(ServiceWorkspacePool, ManyThreadsNeverExceedCap) {
+  constexpr std::size_t kCap = 3;
+  WorkspacePool pool(kCap);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 16; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto l = pool.acquire();
+        const int now = concurrent.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::yield();
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_LE(peak.load(), static_cast<int>(kCap));
+  EXPECT_LE(pool.created(), kCap);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace grind::service

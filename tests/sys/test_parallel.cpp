@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "sys/rng.hpp"
@@ -112,6 +113,95 @@ TEST(ParallelFill, FillsEveryElement) {
   std::vector<double> v(100000, 0.0);
   parallel_fill(v, 2.5);
   for (double x : v) ASSERT_EQ(x, 2.5);
+}
+
+// Regression (GraphService re-entrancy audit): the process-wide thread
+// count used to be a plain global, lazily initialised on first use — a data
+// race both at first use and whenever set_num_threads (ggtool --threads, a
+// bench's ThreadCountGuard) runs while service workers read num_threads()
+// inside traversals.  The global is atomic now; under TSan this test fails
+// if that regresses, because it performs genuinely concurrent reads and
+// writes of the shared value.
+TEST(ThreadLimitGuard, ConcurrentReadsAndWritesAreRaceFree) {
+  const int before = process_num_threads();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) set_num_threads(before);
+  });
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  std::vector<int> seen(kReaders, 0);
+  for (int t = 0; t < kReaders; ++t)
+    readers.emplace_back([&, t] {
+      int last = num_threads();
+      while (!stop.load(std::memory_order_acquire)) last = num_threads();
+      seen[t] = last;
+    });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  for (int t = 0; t < kReaders; ++t) EXPECT_EQ(seen[t], before);
+  EXPECT_EQ(process_num_threads(), before);
+}
+
+TEST(ThreadLimitGuard, ThreadCountGuardIgnoresLocalLimit) {
+  // A ThreadCountGuard constructed under a ThreadLimitGuard must save and
+  // restore the process-wide value, not leak the local limit into it.
+  const int global_before = process_num_threads();
+  {
+    ThreadLimitGuard limit(1);
+    {
+      ThreadCountGuard guard(2);
+      EXPECT_EQ(process_num_threads(), 2);
+      EXPECT_EQ(num_threads(), 1);  // local limit still wins on this thread
+    }
+    EXPECT_EQ(process_num_threads(), global_before);
+  }
+  EXPECT_EQ(process_num_threads(), global_before);
+  EXPECT_EQ(num_threads(), global_before);
+}
+
+TEST(ThreadLimitGuard, LimitsOnlyTheCallingThread) {
+  const int before = num_threads();
+  std::atomic<int> other_during{0};
+  {
+    ThreadLimitGuard guard(1);
+    EXPECT_EQ(num_threads(), 1);
+    EXPECT_EQ(thread_limit(), 1);
+    // A different thread is unaffected by this thread's limit.
+    std::thread peer([&] { other_during = num_threads(); });
+    peer.join();
+    EXPECT_EQ(other_during.load(), before);
+  }
+  EXPECT_EQ(num_threads(), before);
+  EXPECT_EQ(thread_limit(), 0);
+}
+
+TEST(ThreadLimitGuard, NestsAndRestores) {
+  const int before = num_threads();
+  {
+    ThreadLimitGuard outer(2);
+    EXPECT_EQ(num_threads(), 2);
+    {
+      ThreadLimitGuard inner(1);
+      EXPECT_EQ(num_threads(), 1);
+    }
+    EXPECT_EQ(num_threads(), 2);
+  }
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(ThreadLimitGuard, SerialLimitStillComputesCorrectly) {
+  ThreadLimitGuard guard(1);
+  const std::size_t n = 100000;
+  std::vector<int> hits(n, 0);  // no atomics needed: limit forces serial
+  parallel_for(0, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1);
+  const auto sum =
+      parallel_reduce_sum<std::int64_t>(0, n, [&](std::size_t i) {
+        return hits[i];
+      });
+  EXPECT_EQ(sum, static_cast<std::int64_t>(n));
 }
 
 }  // namespace

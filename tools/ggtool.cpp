@@ -8,6 +8,14 @@
 //                   [--partitions N] [--layout auto|csc|coo|pcsr]
 //                   [--order original|degree|hilbert|child]
 //                   [--source V] [--threads T] [--no-atomics]
+//   ggtool serve    <graph> [--clients N] [--pool-cap N] [--queries N]
+//                   [--script FILE] [--threads-per-query T]
+//                   [--partitions N] [--order O]
+//
+// serve executes a query script concurrently through a GraphService with
+// --clients worker threads.  Script lines are "ALGO [source]" (one query
+// per line, '#' comments); without --script a default mixed workload of
+// --queries queries is generated.
 //
 // --source and all printed vertex ids are in the input file's (original) ID
 // space; --order selects the internal vertex relabeling applied by the
@@ -18,7 +26,11 @@
 // failures.
 #include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <future>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +48,7 @@
 #include "graph/io.hpp"
 #include "partition/replication.hpp"
 #include "partition/storage_model.hpp"
+#include "service/graph_service.hpp"
 #include "sys/parallel.hpp"
 #include "sys/table.hpp"
 #include "sys/timer.hpp"
@@ -72,7 +85,13 @@ int usage() {
          "  ggtool partition-report <graph> <partitions>\n"
          "  ggtool run <algo> <graph> [--partitions N] [--layout L] "
          "[--order O] [--source V] [--threads T] [--no-atomics]\n"
-         "    O = original|degree|hilbert|child (vertex reordering)\n";
+         "    O = original|degree|hilbert|child (vertex reordering)\n"
+         "  ggtool serve <graph> [--clients N] [--pool-cap N] [--queries N] "
+         "[--script FILE]\n"
+         "               [--threads-per-query T] [--partitions N] "
+         "[--order O]\n"
+         "    script lines: \"ALGO [source]\" with ALGO one of "
+         "BFS|CC|PR|PRDelta|BF|BC|SPMV|BP\n";
   return 1;
 }
 
@@ -249,6 +268,162 @@ int cmd_run(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Parse one script line ("ALGO [source]") into a request; returns false on
+// malformed lines (unknown algorithm, non-numeric source, trailing junk),
+// reported with the line number by the caller.
+bool parse_query_line(const std::string& line, service::QueryRequest* out) {
+  std::istringstream is(line);
+  std::string code;
+  if (!(is >> code)) return false;
+  const auto algo = service::parse_algorithm(code);
+  if (!algo) return false;
+  out->algorithm = *algo;
+  std::string tok;
+  if (is >> tok) {
+    // Strict unsigned 32-bit parse: stoul would wrap "-1" and truncating
+    // to vid_t would silently turn out-of-range IDs into valid ones.
+    if (tok.empty() || tok[0] == '-' || tok[0] == '+') return false;
+    try {
+      std::size_t pos = 0;
+      const unsigned long long src = std::stoull(tok, &pos);
+      if (pos != tok.size()) return false;  // "1O", "5x": partial parse
+      if (src >= kInvalidVertex) return false;
+      out->source = static_cast<vid_t>(src);
+    } catch (const std::exception&) {
+      return false;
+    }
+    std::string rest;
+    if (is >> rest) return false;  // trailing tokens
+  }
+  return true;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string path = args[0];
+
+  graph::BuildOptions bopts;
+  service::ServiceConfig cfg;
+  std::size_t queries = 64;
+  std::string script_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : throw std::invalid_argument(a);
+    };
+    if (a == "--clients") {
+      cfg.workers = std::stoul(next());
+    } else if (a == "--pool-cap") {
+      cfg.pool_capacity = std::stoul(next());
+    } else if (a == "--queries") {
+      queries = std::stoul(next());
+    } else if (a == "--script") {
+      script_path = next();
+    } else if (a == "--threads-per-query") {
+      cfg.threads_per_query = std::stoi(next());
+    } else if (a == "--partitions") {
+      bopts.num_partitions = static_cast<part_t>(std::stoul(next()));
+    } else if (a == "--order") {
+      const auto o = graph::parse_ordering(next());
+      if (!o) return usage();
+      bopts.ordering = *o;
+    } else {
+      return usage();
+    }
+  }
+
+  auto el = load_any(path);
+  Timer build_timer;
+  service::GraphService svc(graph::Graph::build(std::move(el), bopts), cfg);
+  const double build_s = build_timer.seconds();
+  const auto& g = svc.graph();
+
+  // Assemble the workload: the script verbatim, or a default mix cycling
+  // through the algorithms with sources spread over the vertex range.
+  std::vector<service::QueryRequest> reqs;
+  if (!script_path.empty()) {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::cerr << "error: cannot open script " << script_path << "\n";
+      return 2;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      service::QueryRequest req;
+      if (!parse_query_line(line, &req)) {
+        std::cerr << "error: bad script line " << lineno << ": " << line
+                  << "\n";
+        return 2;
+      }
+      reqs.push_back(std::move(req));
+    }
+  } else {
+    const service::Algorithm mix[] = {
+        service::Algorithm::kBfs, service::Algorithm::kPageRank,
+        service::Algorithm::kCc, service::Algorithm::kBellmanFord};
+    for (std::size_t q = 0; q < queries; ++q) {
+      service::QueryRequest req;
+      req.algorithm = mix[q % std::size(mix)];
+      if (g.num_vertices() > 0 &&
+          (req.algorithm == service::Algorithm::kBfs ||
+           req.algorithm == service::Algorithm::kBellmanFord))
+        req.source = static_cast<vid_t>((q * 131) % g.num_vertices());
+      reqs.push_back(std::move(req));
+    }
+  }
+
+  // Execute everything concurrently and drain.
+  std::vector<std::future<service::QueryResult>> futures;
+  futures.reserve(reqs.size());
+  Timer wall;
+  for (auto& req : reqs) futures.push_back(svc.submit(std::move(req)));
+  std::map<std::string, std::size_t> per_algo;
+  std::size_t failed = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    ++per_algo[service::algorithm_name(r.algorithm)];
+    if (!r.ok()) {
+      ++failed;
+      std::cerr << "query failed: " << service::algorithm_name(r.algorithm)
+                << ": " << r.error << "\n";
+    }
+  }
+  const double elapsed = wall.seconds();
+
+  const auto st = svc.stats();
+  Table t("service run: " + path);
+  t.header({"metric", "value"});
+  t.row({"graph", std::to_string(g.num_vertices()) + " vertices / " +
+                      std::to_string(g.num_edges()) + " edges (built in " +
+                      Table::num(build_s, 3) + " s)"});
+  t.row({"clients (workers)", Table::num(svc.num_workers())});
+  t.row({"pool capacity", Table::num(svc.pool().capacity())});
+  t.row({"workspaces created", Table::num(svc.pool().created())});
+  t.row({"threads per query", Table::num(std::size_t{
+             static_cast<std::size_t>(cfg.threads_per_query)})});
+  t.row({"queries", Table::num(st.queries_completed)});
+  t.row({"failed", Table::num(failed)});
+  t.row({"wall time [s]", Table::num(elapsed, 3)});
+  t.row({"throughput [queries/s]",
+         Table::num(elapsed > 0 ? static_cast<double>(st.queries_completed) /
+                                      elapsed
+                                : 0.0,
+                    1)});
+  t.row({"busy/wall (parallelism)",
+         Table::num(elapsed > 0 ? st.busy_seconds / elapsed : 0.0, 2)});
+  std::cout << t;
+  std::cout << "mix:";
+  for (const auto& [code, count] : per_algo)
+    std::cout << " " << code << "=" << count;
+  std::cout << "\n";
+  return failed == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,6 +442,7 @@ int main(int argc, char** argv) {
       return cmd_partition_report(args[0],
                                   static_cast<part_t>(std::stoul(args[1])));
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
