@@ -98,6 +98,7 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
   eid_t edges = 0;
   Frontier out;
   bool used_atomics = false;
+  AffineCounts affinity;  // home/stolen split of the partition schedulers
   switch (kind) {
     case TraversalKind::kSparseCsr:
       out = traverse_csr_sparse(g, f, op, &edges, ws);
@@ -108,22 +109,24 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
           opts.csc_balance == partition::BalanceMode::kVertices
               ? g.partitioning_vertices()
               : g.partitioning_edges();
-      out = traverse_csc_backward(g, f, op, ranges, &edges, ws);
+      out = traverse_csc_backward(g, f, op, ranges, &edges, ws, &affinity);
       used_atomics = false;  // backward is single-writer by construction
       break;
     }
     case TraversalKind::kDenseCoo:
-      out = traverse_coo(g, f, op, atomics, &edges, ws);
+      out = traverse_coo(g, f, op, atomics, &edges, ws, &affinity);
       used_atomics = atomics;
       break;
     case TraversalKind::kPartitionedCsr:
-      out = traverse_partitioned_csr(g, f, op, atomics, &edges, ws);
+      out = traverse_partitioned_csr(g, f, op, atomics, &edges, ws, &affinity);
       used_atomics = atomics;
       break;
   }
 
-  if (stats != nullptr)
+  if (stats != nullptr) {
     stats->record(kind, timer.seconds(), edges, used_atomics);
+    stats->record_affinity(affinity);
+  }
   return out;
 }
 

@@ -95,9 +95,11 @@ Frontier traverse_transpose_backward(const graph::Graph& g, Frontier& f,
                                      Op& op,
                                      const partition::Partitioning& ranges,
                                      eid_t* edges_examined,
-                                     TraversalWorkspace* ws = nullptr) {
+                                     TraversalWorkspace* ws = nullptr,
+                                     AffineCounts* affinity = nullptr) {
   f.to_dense(ws);
   const auto& csr = g.csr();
+  const NumaModel& numa = g.numa();
   const Bitmap& in = f.bitmap();
   Bitmap next =
       ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
@@ -108,23 +110,36 @@ Frontier traverse_transpose_backward(const graph::Graph& g, Frontier& f,
                                         : local_counts;
   if (ws == nullptr) local_counts.assign(chunks.size(), 0);
 
-  parallel_for_dynamic(0, chunks.size(), [&](std::size_t p) {
-    const VertexRange r = chunks[p];
-    eid_t local_edges = 0;
-    for (vid_t v = r.begin; v < r.end; ++v) {
-      if (!op.cond(v)) continue;
-      const auto neigh = csr.neighbors(v);
-      const auto wts = csr.weights(v);
-      for (std::size_t j = 0; j < neigh.size(); ++j) {
-        ++local_edges;
-        const vid_t u = neigh[j];
-        if (!in.get(u)) continue;
-        if (op.update(u, v, wts[j])) next.set(v);
-        if (!op.cond(v)) break;
-      }
-    }
-    edge_counts[p] = local_edges;
-  });
+  // The gather writes per original *source* vertex, but the CSR rows it
+  // reads live on the same vertex ranges the forward CSC uses, so the same
+  // domain-affine schedule applies — domains resolved against the
+  // edge-balanced partitioning the CSR pages were placed by.
+  const partition::Partitioning& storage_parts = g.partitioning_edges();
+  const AffineCounts counts = affine_for(
+      numa, /*owner=*/&g, /*token=*/&chunks, chunks.size(),
+      ws != nullptr ? &ws->domain_schedules() : nullptr,
+      [&](std::size_t c) {
+        return csc_chunk_domain(storage_parts, numa, chunks[c]);
+      },
+      [&](std::size_t p) {
+        const VertexRange r = chunks[p];
+        eid_t local_edges = 0;
+        for (vid_t v = r.begin; v < r.end; ++v) {
+          if (!op.cond(v)) continue;
+          const auto neigh = csr.neighbors(v);
+          const auto wts = csr.weights(v);
+          for (std::size_t j = 0; j < neigh.size(); ++j) {
+            ++local_edges;
+            const vid_t u = neigh[j];
+            if (!in.get(u)) continue;
+            if (op.update(u, v, wts[j])) next.set(v);
+            if (!op.cond(v)) break;
+          }
+        }
+        edge_counts[p] = local_edges;
+        return static_cast<std::uint64_t>(local_edges);
+      });
+  if (affinity != nullptr) affinity->merge(counts);
   if (edges_examined != nullptr) {
     eid_t total = 0;
     for (eid_t c : edge_counts) total += c;
@@ -217,6 +232,7 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
   eid_t edges = 0;
   Frontier out;
   bool used_atomics = false;
+  AffineCounts affinity;
   switch (kind) {
     case TraversalKind::kSparseCsr:
       out = traverse_transpose_sparse(g, f, op, &edges, ws);
@@ -227,18 +243,24 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
           opts.csc_balance == partition::BalanceMode::kVertices
               ? g.partitioning_vertices()
               : g.partitioning_edges();
-      out = traverse_transpose_backward(g, f, op, ranges, &edges, ws);
+      out = traverse_transpose_backward(g, f, op, ranges, &edges, ws,
+                                        &affinity);
       used_atomics = false;
       break;
     }
     case TraversalKind::kDenseCoo:
     case TraversalKind::kPartitionedCsr:
+      // Transpose-COO has no home-domain story (partitions own the *reader*
+      // side here), so it stays on plain dynamic scheduling and reports no
+      // affinity.
       out = traverse_transpose_coo(g, f, op, &edges, ws);
       used_atomics = true;
       break;
   }
-  if (stats != nullptr)
+  if (stats != nullptr) {
     stats->record(kind, timer.seconds(), edges, used_atomics);
+    stats->record_affinity(affinity);
+  }
   return out;
 }
 

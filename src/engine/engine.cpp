@@ -49,6 +49,13 @@ std::string Engine::stats_report() const {
   }
   os << "  atomic rounds: " << stats_.atomic_rounds
      << ", non-atomic rounds: " << stats_.nonatomic_rounds << '\n';
+  const auto& aff = stats_.affinity;
+  if (aff.home_items + aff.stolen_items > 0) {
+    os << "  domain affinity: " << aff.home_items << " home / "
+       << aff.stolen_items << " stolen partition visits ("
+       << stats_.home_visit_ratio() * 100.0 << "% home, "
+       << stats_.home_weight_ratio() * 100.0 << "% of touched work)\n";
+  }
   return os.str();
 }
 

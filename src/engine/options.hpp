@@ -71,6 +71,25 @@ struct Options {
   bool collect_stats = true;
 };
 
+/// Home/stolen work split of one domain-affine traversal (domain_sched.hpp):
+/// items are partitions / chunks; weight is the work each item carried
+/// (edges examined or vertices scanned).  "Home" means the item was
+/// processed by a thread attached to the item's NUMA domain; "stolen" means
+/// a foreign thread took it for load balance.
+struct AffineCounts {
+  std::uint64_t home_items = 0;
+  std::uint64_t stolen_items = 0;
+  std::uint64_t home_weight = 0;
+  std::uint64_t stolen_weight = 0;
+
+  void merge(const AffineCounts& o) {
+    home_items += o.home_items;
+    stolen_items += o.stolen_items;
+    home_weight += o.home_weight;
+    stolen_weight += o.stolen_weight;
+  }
+};
+
 /// Which kernel a single edge_map call selected.
 enum class TraversalKind : std::uint8_t {
   kSparseCsr = 0,
@@ -90,6 +109,7 @@ struct TraversalStats {
   std::uint64_t edges_examined[4] = {};
   std::uint64_t atomic_rounds = 0;     ///< traversals that used atomics
   std::uint64_t nonatomic_rounds = 0;  ///< traversals that elided atomics
+  AffineCounts affinity;               ///< home/stolen split, partition kernels
 
   void record(TraversalKind k, double secs, std::uint64_t edges,
               bool used_atomics) {
@@ -98,6 +118,27 @@ struct TraversalStats {
     seconds[i] += secs;
     edges_examined[i] += edges;
     if (used_atomics) ++atomic_rounds; else ++nonatomic_rounds;
+  }
+
+  void record_affinity(const AffineCounts& c) { affinity.merge(c); }
+
+  /// Fraction of partition/chunk visits served by a home-domain thread;
+  /// 1.0 when no partition-scheduled traversal has run yet.
+  [[nodiscard]] double home_visit_ratio() const {
+    const std::uint64_t total = affinity.home_items + affinity.stolen_items;
+    return total == 0
+               ? 1.0
+               : static_cast<double>(affinity.home_items) /
+                     static_cast<double>(total);
+  }
+
+  /// Same, weighted by per-item work (edges examined / vertices scanned).
+  [[nodiscard]] double home_weight_ratio() const {
+    const std::uint64_t total = affinity.home_weight + affinity.stolen_weight;
+    return total == 0
+               ? 1.0
+               : static_cast<double>(affinity.home_weight) /
+                     static_cast<double>(total);
   }
 
   [[nodiscard]] std::uint64_t total_calls() const {

@@ -16,8 +16,13 @@
 //     single chunk (high P) the atomics are contention-free and the +a/+na
 //     gap collapses to the bare instruction overhead — the 6.1–23.7 %
 //     window the paper reports at 48 partitions (§IV-A).
+//
+// Both variants schedule their work items domain-affinely (domain_sched.hpp):
+// a partition (or chunk) is processed by a thread of the NUMA domain that
+// stores its edges, with gated stealing for load balance (§III-D).
 #pragma once
 
+#include "engine/domain_sched.hpp"
 #include "engine/operators.hpp"
 #include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
@@ -30,40 +35,60 @@ namespace grind::engine {
 template <EdgeOperator Op>
 Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
                       bool use_atomics, eid_t* edges_examined,
-                      TraversalWorkspace* ws = nullptr) {
+                      TraversalWorkspace* ws = nullptr,
+                      AffineCounts* affinity = nullptr) {
   f.to_dense(ws);
   const auto& coo = g.coo();
+  const NumaModel& numa = g.numa();
+  DomainScheduleCache* sched =
+      ws != nullptr ? &ws->domain_schedules() : nullptr;
   const Bitmap& in = f.bitmap();
   Bitmap next =
       ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
 
   if (edges_examined != nullptr) *edges_examined = coo.num_edges();
 
+  AffineCounts counts;
+  const part_t np = coo.num_partitions();
   if (!use_atomics) {
-    const part_t np = coo.num_partitions();
-    parallel_for_dynamic(0, np, [&](std::size_t p) {
-      for (const Edge& e : coo.edges(static_cast<part_t>(p))) {
-        if (in.get(e.src) && op.cond(e.dst) &&
-            op.update(e.src, e.dst, e.weight)) {
-          next.set(e.dst);
-        }
-      }
-    });
+    counts = affine_for(
+        numa, /*owner=*/&g, /*token=*/&coo, np, sched,
+        [&](std::size_t p) {
+          return numa.domain_of_partition(static_cast<part_t>(p), np);
+        },
+        [&](std::size_t p) {
+          const auto es = coo.edges(static_cast<part_t>(p));
+          for (const Edge& e : es) {
+            if (in.get(e.src) && op.cond(e.dst) &&
+                op.update(e.src, e.dst, e.weight)) {
+              next.set(e.dst);
+            }
+          }
+          return static_cast<std::uint64_t>(es.size());
+        });
   } else {
-    // (partition, edge sub-range) work items, cached at layout build time.
+    // (partition, edge sub-range) work items, cached at layout build time;
+    // a chunk's domain is its owning partition's domain.
     const auto& items = coo.chunks();
-    parallel_for_dynamic(0, items.size(), [&](std::size_t w) {
-      const partition::CooChunk& it = items[w];
-      const auto es = coo.edges(it.part);
-      for (eid_t i = it.begin; i < it.end; ++i) {
-        const Edge& e = es[i];
-        if (in.get(e.src) && op.cond(e.dst) &&
-            op.update_atomic(e.src, e.dst, e.weight)) {
-          next.set_atomic(e.dst);
-        }
-      }
-    });
+    counts = affine_for(
+        numa, /*owner=*/&g, /*token=*/&items, items.size(), sched,
+        [&](std::size_t w) {
+          return numa.domain_of_partition(items[w].part, np);
+        },
+        [&](std::size_t w) {
+          const partition::CooChunk& it = items[w];
+          const auto es = coo.edges(it.part);
+          for (eid_t i = it.begin; i < it.end; ++i) {
+            const Edge& e = es[i];
+            if (in.get(e.src) && op.cond(e.dst) &&
+                op.update_atomic(e.src, e.dst, e.weight)) {
+              next.set_atomic(e.dst);
+            }
+          }
+          return static_cast<std::uint64_t>(it.end - it.begin);
+        });
   }
+  if (affinity != nullptr) affinity->merge(counts);
 
   Frontier out = Frontier::from_bitmap(std::move(next));
   out.recount(&g.csr());

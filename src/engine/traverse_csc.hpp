@@ -13,6 +13,7 @@
 // of Beamer et al. that makes backward traversal cheap on dense frontiers).
 #pragma once
 
+#include "engine/domain_sched.hpp"
 #include "engine/operators.hpp"
 #include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
@@ -22,6 +23,20 @@
 #include "sys/parallel.hpp"
 
 namespace grind::engine {
+
+/// NUMA domain of one CSC sub-chunk, resolved against the partitioning the
+/// *pages* were placed by — the edge-balanced one (builder.cpp
+/// place_csr_domains) — which may differ from the partitioning whose
+/// sub-chunks drive the computation split (vertex-balanced for
+/// vertex-oriented algorithms).  A vertex-balanced chunk can straddle an
+/// edge-partition boundary; its begin vertex decides, matching the page
+/// granularity of the placement itself.
+inline int csc_chunk_domain(const partition::Partitioning& storage_parts,
+                            const NumaModel& numa, const VertexRange& chunk) {
+  if (chunk.begin >= storage_parts.num_vertices()) return 0;  // degenerate
+  return numa.domain_of_partition(storage_parts.partition_of(chunk.begin),
+                                  storage_parts.num_partitions());
+}
 
 /// The partitioning's ranges split into word-aligned sub-chunks — now a
 /// build-time-cached property of the Partitioning itself.
@@ -34,9 +49,11 @@ template <EdgeOperator Op>
 Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
                                const partition::Partitioning& ranges,
                                eid_t* edges_examined,
-                               TraversalWorkspace* ws = nullptr) {
+                               TraversalWorkspace* ws = nullptr,
+                               AffineCounts* affinity = nullptr) {
   f.to_dense(ws);
   const auto& csc = g.csc();
+  const NumaModel& numa = g.numa();
   const Bitmap& in = f.bitmap();
   Bitmap next =
       ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
@@ -47,23 +64,35 @@ Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
                                         : local_counts;
   if (ws == nullptr) local_counts.assign(chunks.size(), 0);
 
-  parallel_for_dynamic(0, chunks.size(), [&](std::size_t c) {
-    const VertexRange r = chunks[c];
-    eid_t local_edges = 0;
-    for (vid_t d = r.begin; d < r.end; ++d) {
-      if (!op.cond(d)) continue;
-      const auto neigh = csc.neighbors(d);
-      const auto wts = csc.weights(d);
-      for (std::size_t j = 0; j < neigh.size(); ++j) {
-        ++local_edges;
-        const vid_t s = neigh[j];
-        if (!in.get(s)) continue;
-        if (op.update(s, d, wts[j])) next.set(d);
-        if (!op.cond(d)) break;  // destination saturated; skip remaining
-      }
-    }
-    edge_counts[c] = local_edges;
-  });
+  // Chunks come from `ranges` (the balance criterion of the running
+  // algorithm); their domains come from the edge-balanced partitioning the
+  // CSC pages were placed by.
+  const partition::Partitioning& storage_parts = g.partitioning_edges();
+  const AffineCounts counts = affine_for(
+      numa, /*owner=*/&g, /*token=*/&chunks, chunks.size(),
+      ws != nullptr ? &ws->domain_schedules() : nullptr,
+      [&](std::size_t c) {
+        return csc_chunk_domain(storage_parts, numa, chunks[c]);
+      },
+      [&](std::size_t c) {
+        const VertexRange r = chunks[c];
+        eid_t local_edges = 0;
+        for (vid_t d = r.begin; d < r.end; ++d) {
+          if (!op.cond(d)) continue;
+          const auto neigh = csc.neighbors(d);
+          const auto wts = csc.weights(d);
+          for (std::size_t j = 0; j < neigh.size(); ++j) {
+            ++local_edges;
+            const vid_t s = neigh[j];
+            if (!in.get(s)) continue;
+            if (op.update(s, d, wts[j])) next.set(d);
+            if (!op.cond(d)) break;  // destination saturated; skip remaining
+          }
+        }
+        edge_counts[c] = local_edges;
+        return static_cast<std::uint64_t>(local_edges);
+      });
+  if (affinity != nullptr) affinity->merge(counts);
 
   if (edges_examined != nullptr) {
     eid_t total = 0;

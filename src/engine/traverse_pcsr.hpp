@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "engine/domain_sched.hpp"
 #include "engine/operators.hpp"
 #include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
@@ -32,9 +33,13 @@ namespace grind::engine {
 template <EdgeOperator Op>
 Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
                                   bool use_atomics, eid_t* edges_examined,
-                                  TraversalWorkspace* ws = nullptr) {
+                                  TraversalWorkspace* ws = nullptr,
+                                  AffineCounts* affinity = nullptr) {
   f.to_dense(ws);
   const auto& pc = g.partitioned_csr();
+  const NumaModel& numa = g.numa();
+  DomainScheduleCache* sched =
+      ws != nullptr ? &ws->domain_schedules() : nullptr;
   const Bitmap& in = f.bitmap();
   Bitmap next =
       ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
@@ -46,38 +51,53 @@ Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
     *edges_examined = total;
   }
 
+  AffineCounts counts;
   if (!use_atomics) {
-    parallel_for_dynamic(0, np, [&](std::size_t pi) {
-      const auto& part = pc.part(static_cast<part_t>(pi));
-      const vid_t nloc = part.num_local_vertices();
-      for (vid_t i = 0; i < nloc; ++i) {
-        const vid_t s = part.vertex_ids[i];
-        if (!in.get(s)) continue;
-        for (eid_t j = part.offsets[i]; j < part.offsets[i + 1]; ++j) {
-          const vid_t d = part.targets[j];
-          if (op.cond(d) && op.update(s, d, part.weights[j])) next.set(d);
-        }
-      }
-    });
+    counts = affine_for(
+        numa, /*owner=*/&g, /*token=*/&pc, np, sched,
+        [&](std::size_t pi) {
+          return numa.domain_of_partition(static_cast<part_t>(pi), np);
+        },
+        [&](std::size_t pi) {
+          const auto& part = pc.part(static_cast<part_t>(pi));
+          const vid_t nloc = part.num_local_vertices();
+          for (vid_t i = 0; i < nloc; ++i) {
+            const vid_t s = part.vertex_ids[i];
+            if (!in.get(s)) continue;
+            for (eid_t j = part.offsets[i]; j < part.offsets[i + 1]; ++j) {
+              const vid_t d = part.targets[j];
+              if (op.cond(d) && op.update(s, d, part.weights[j])) next.set(d);
+            }
+          }
+          return static_cast<std::uint64_t>(part.num_edges());
+        });
   } else {
     // Flattened (partition, local-vertex chunk) work items — cached at
     // layout build time — so partitions much larger than others still
     // spread across threads.
     const auto& items = pc.chunks();
-    parallel_for_dynamic(0, items.size(), [&](std::size_t w) {
-      const partition::PcsrChunk& it = items[w];
-      const auto& part = pc.part(it.part);
-      for (vid_t i = it.begin; i < it.end; ++i) {
-        const vid_t s = part.vertex_ids[i];
-        if (!in.get(s)) continue;
-        for (eid_t j = part.offsets[i]; j < part.offsets[i + 1]; ++j) {
-          const vid_t d = part.targets[j];
-          if (op.cond(d) && op.update_atomic(s, d, part.weights[j]))
-            next.set_atomic(d);
-        }
-      }
-    });
+    counts = affine_for(
+        numa, /*owner=*/&g, /*token=*/&items, items.size(), sched,
+        [&](std::size_t w) {
+          return numa.domain_of_partition(items[w].part, np);
+        },
+        [&](std::size_t w) {
+          const partition::PcsrChunk& it = items[w];
+          const auto& part = pc.part(it.part);
+          for (vid_t i = it.begin; i < it.end; ++i) {
+            const vid_t s = part.vertex_ids[i];
+            if (!in.get(s)) continue;
+            for (eid_t j = part.offsets[i]; j < part.offsets[i + 1]; ++j) {
+              const vid_t d = part.targets[j];
+              if (op.cond(d) && op.update_atomic(s, d, part.weights[j]))
+                next.set_atomic(d);
+            }
+          }
+          return static_cast<std::uint64_t>(
+              part.offsets[it.end] - part.offsets[it.begin]);
+        });
   }
+  if (affinity != nullptr) affinity->merge(counts);
 
   Frontier out = Frontier::from_bitmap(std::move(next));
   out.recount(&g.csr());

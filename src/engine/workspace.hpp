@@ -13,7 +13,9 @@
 //   * per-thread push buffers — capacity retained across iterations, so the
 //     sparse kernel's push_back reallocations happen only while the high-
 //     water mark is still rising;
-//   * per-chunk / per-thread edge counters and prefix-sum scratch.
+//   * per-chunk / per-thread edge counters and prefix-sum scratch;
+//   * prepared domain-affine schedules (per-domain item buckets + claim
+//     cursors, domain_sched.hpp), keyed by item set and thread budget.
 //
 // The partition chunk work lists (COO edge chunks, CSC vertex sub-chunks,
 // pruned-CSR vertex chunks) are NOT here: they depend only on the immutable
@@ -36,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/domain_sched.hpp"
 #include "sys/bitmap.hpp"
 #include "sys/types.hpp"
 
@@ -151,6 +154,13 @@ class TraversalWorkspace {
     return scratch_offsets_;
   }
 
+  /// Cached domain-affine schedules (per item set × thread budget), so
+  /// steady-state iterations of a traversal loop never rebuild the
+  /// per-domain buckets (domain_sched.hpp).
+  [[nodiscard]] DomainScheduleCache& domain_schedules() {
+    return sched_cache_;
+  }
+
   /// Pool introspection (tests / diagnostics).
   [[nodiscard]] std::size_t pooled_bitmaps() const { return bitmaps_.size(); }
   [[nodiscard]] std::size_t pooled_vertex_lists() const {
@@ -166,6 +176,7 @@ class TraversalWorkspace {
     counters_ = {};
     scratch_counts_ = {};
     scratch_offsets_ = {};
+    sched_cache_.clear();
   }
 
  private:
@@ -175,6 +186,7 @@ class TraversalWorkspace {
   std::vector<eid_t> counters_;
   std::vector<std::size_t> scratch_counts_;
   std::vector<std::size_t> scratch_offsets_;
+  DomainScheduleCache sched_cache_;
 };
 
 }  // namespace grind::engine

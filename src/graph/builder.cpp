@@ -3,9 +3,39 @@
 #include <algorithm>
 #include <utility>
 
+#include "sys/arena.hpp"
 #include "sys/parallel.hpp"
 
 namespace grind::graph {
+
+namespace {
+
+/// Bind each partition's row slice of a whole-graph CSR/CSC index to the
+/// owning domain's arena: offsets over the partition's vertex range, plus
+/// the neighbor/weight spans those offsets cover.  The index stays one
+/// contiguous array (sparse traversal needs O(1) row lookup), so this is
+/// page-range placement, not per-partition allocation.
+void place_csr_domains(const Csr& csr, const partition::Partitioning& parts,
+                       const NumaModel& numa) {
+  if (csr.num_vertices() == 0) return;
+  auto& arenas = NumaArenas::instance();
+  const part_t np = parts.num_partitions();
+  const auto offsets = csr.offsets();
+  const auto neighbors = csr.neighbors();
+  const auto weights = csr.weights();
+  for (part_t p = 0; p < np; ++p) {
+    const VertexRange r = parts.range(p);
+    if (r.empty()) continue;
+    const int d = numa.domain_of_partition(p, np);
+    arenas.place(offsets.data() + r.begin,
+                 (static_cast<std::size_t>(r.size()) + 1) * sizeof(eid_t), d);
+    const eid_t lo = offsets[r.begin], hi = offsets[r.end];
+    arenas.place(neighbors.data() + lo, (hi - lo) * sizeof(vid_t), d);
+    arenas.place(weights.data() + lo, (hi - lo) * sizeof(weight_t), d);
+  }
+}
+
+}  // namespace
 
 GraphBuilder::GraphBuilder(EdgeList el, BuildOptions opts)
     : el_(std::move(el)),
@@ -35,6 +65,9 @@ GraphBuilder& GraphBuilder::with_partitions(part_t p) {
     requested_partitions_ = p;
     opts_.num_partitions = p;
     partition_done_ = coo_done_ = pcsr_done_ = false;
+    // The CSR/CSC arrays themselves survive a partition change, but their
+    // page placement follows partition boundaries and must be redone.
+    index_placed_ = false;
   }
   return *this;
 }
@@ -103,15 +136,27 @@ GraphBuilder& GraphBuilder::layouts() {
     csr_ = Csr::build(el_, Adjacency::kOut);
     csc_ = Csr::build(el_, Adjacency::kIn);
     index_done_ = true;
+    index_placed_ = false;
+  }
+  if (!index_placed_) {
+    // Row slices follow the edge-balanced partitioning: the CSC computation
+    // range and the COO buckets both live on it, so its domains are the
+    // ones whose threads touch these pages.  Placement is tracked
+    // separately from index_done_ — with_partitions() keeps the index but
+    // moves the boundaries, which must re-place the pages.
+    place_csr_domains(csr_, part_edges_, numa_);
+    place_csr_domains(csc_, part_edges_, numa_);
+    index_placed_ = true;
   }
   if (!coo_done_) {
-    coo_ = partition::PartitionedCoo::build(el_, part_edges_, opts_.coo_order);
+    coo_ = partition::PartitionedCoo::build(el_, part_edges_, opts_.coo_order,
+                                            &numa_);
     coo_done_ = true;
   }
   if (opts_.build_partitioned_csr) {
     if (!pcsr_done_) {
       pcsr_ = std::make_unique<partition::PartitionedCsr>(
-          partition::PartitionedCsr::build(el_, part_edges_));
+          partition::PartitionedCsr::build(el_, part_edges_, &numa_));
       pcsr_done_ = true;
     }
   } else {
@@ -143,6 +188,13 @@ Graph GraphBuilder::build() & {
   g.coo_ = coo_;
   if (pcsr_) g.pcsr_ = std::make_unique<partition::PartitionedCsr>(*pcsr_);
   g.numa_ = numa_;
+  // The copies above sit in fresh buffers the builder's page placement did
+  // not follow; re-bind them so a graph from the reusable lvalue path is
+  // placed like one from the moving path.  (The pruned CSR needs no help:
+  // its DomainVectors copy through their domain's allocator.)
+  g.coo_.bind_domains(numa_);
+  place_csr_domains(g.csr_, g.part_edges_, numa_);
+  place_csr_domains(g.csc_, g.part_edges_, numa_);
   return g;
 }
 

@@ -83,7 +83,8 @@ class GraphBuilder {
 
   bool order_done_ = false;
   bool partition_done_ = false;
-  bool index_done_ = false;  // CSR + CSC
+  bool index_done_ = false;  // CSR + CSC arrays
+  bool index_placed_ = false;  // their page placement, per current partitioning
   bool coo_done_ = false;
   bool pcsr_done_ = false;
 };

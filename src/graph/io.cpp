@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -85,6 +86,12 @@ void save_binary(const EdgeList& el, const std::string& path) {
 EdgeList load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) fail("cannot open", path);
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) fail("cannot determine size", path);
+  const auto file_size = static_cast<std::uint64_t>(end_pos);
+  in.seekg(0, std::ios::beg);
+
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
   std::uint64_t nv = 0, ne = 0;
@@ -94,6 +101,16 @@ EdgeList load_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&ne), sizeof ne);
   if (!in || magic != kMagic) fail("bad magic", path);
   if (version != kVersion) fail("unsupported version", path);
+  // Validate the header against reality *before* sizing any buffer: a
+  // corrupt `ne` must not drive a multi-terabyte vector resize, and `nv`
+  // must survive the narrowing to vid_t un-truncated.
+  if (nv > std::numeric_limits<vid_t>::max())
+    fail("vertex count overflows 32-bit id space", path);
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof magic + sizeof version + sizeof nv + sizeof ne;
+  const std::uint64_t payload = file_size - kHeaderBytes;  // read succeeded,
+                                                           // so size ≥ header
+  if (ne > payload / sizeof(Edge)) fail("truncated file", path);
   std::vector<Edge> edges(ne);
   in.read(reinterpret_cast<char*>(edges.data()),
           static_cast<std::streamsize>(ne * sizeof(Edge)));

@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "partition/hilbert.hpp"
+#include "sys/arena.hpp"
 #include "sys/parallel.hpp"
 
 namespace grind::partition {
 
 PartitionedCoo PartitionedCoo::build(const graph::EdgeList& el,
                                      const Partitioning& parts,
-                                     EdgeOrder order) {
+                                     EdgeOrder order, const NumaModel* numa) {
   PartitionedCoo coo;
   coo.order_ = order;
   const part_t np = parts.num_partitions();
@@ -64,7 +65,22 @@ PartitionedCoo PartitionedCoo::build(const graph::EdgeList& el,
       coo.chunks_.push_back({p, lo, std::min(m, lo + kCooChunkEdges)});
   }
 
+  // 6. Bind each partition's slice of the edge array to its NUMA domain's
+  //    arena (§III-D: partition storage lives on the domain whose threads
+  //    traverse it).
+  if (numa != nullptr) coo.bind_domains(*numa);
+
   return coo;
+}
+
+void PartitionedCoo::bind_domains(const NumaModel& numa) const {
+  auto& arenas = NumaArenas::instance();
+  const part_t np = num_partitions();
+  for (part_t p = 0; p < np; ++p) {
+    arenas.place(edges_.data() + offsets_[p],
+                 (offsets_[p + 1] - offsets_[p]) * sizeof(Edge),
+                 numa.domain_of_partition(p, np));
+  }
 }
 
 }  // namespace grind::partition

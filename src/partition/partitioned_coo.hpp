@@ -17,6 +17,7 @@
 
 #include "graph/edge_list.hpp"
 #include "partition/partitioner.hpp"
+#include "sys/numa.hpp"
 #include "sys/types.hpp"
 
 namespace grind::partition {
@@ -47,10 +48,14 @@ class PartitionedCoo {
   PartitionedCoo() = default;
 
   /// Bucket `el`'s edges by `parts` (home of each edge's destination for
-  /// PartitionBy::kDestination) and sort each bucket in `order`.
+  /// PartitionBy::kDestination) and sort each bucket in `order`.  With a
+  /// NumaModel, each partition's slice of the (contiguous, partition-major)
+  /// edge array is routed through the arena of its owning domain
+  /// (sys/arena.hpp: mbind under GRIND_NUMA, accounting otherwise).
   static PartitionedCoo build(const graph::EdgeList& el,
                               const Partitioning& parts,
-                              EdgeOrder order = EdgeOrder::kSource);
+                              EdgeOrder order = EdgeOrder::kSource,
+                              const NumaModel* numa = nullptr);
 
   [[nodiscard]] part_t num_partitions() const {
     return offsets_.empty() ? 0 : static_cast<part_t>(offsets_.size() - 1);
@@ -66,6 +71,12 @@ class PartitionedCoo {
 
   /// All edges, partition-major.
   [[nodiscard]] std::span<const Edge> all_edges() const { return edges_; }
+
+  /// (Re-)bind each partition's slice of the edge array to its owning
+  /// domain's arena.  build() does this when given a NumaModel; callers
+  /// that *copy* a layout (GraphBuilder's reusable lvalue build) call it
+  /// again on the copy, whose fresh buffers the placement did not follow.
+  void bind_domains(const NumaModel& numa) const;
 
   [[nodiscard]] std::span<const eid_t> offsets() const { return offsets_; }
 

@@ -7,7 +7,8 @@
 namespace grind::partition {
 
 PartitionedCsr PartitionedCsr::build(const graph::EdgeList& el,
-                                     const Partitioning& parts) {
+                                     const Partitioning& parts,
+                                     const NumaModel* numa) {
   PartitionedCsr pc;
   const part_t np = parts.num_partitions();
   pc.parts_.resize(np);
@@ -32,6 +33,12 @@ PartitionedCsr PartitionedCsr::build(const graph::EdgeList& el,
   // Compress each bucket into a pruned CSR, in parallel across partitions.
   parallel_for_dynamic(0, np, [&](std::size_t p) {
     PrunedCsrPart& part = pc.parts_[p];
+    // Allocate this partition's arrays through its owning domain's arena
+    // (the §II-E replication buffers live where their traversing threads
+    // run); without a NumaModel everything sits on domain 0.
+    if (numa != nullptr)
+      part.set_domain(
+          numa->domain_of_partition(static_cast<part_t>(p), np));
     const eid_t lo = offsets[p], hi = offsets[p + 1];
     const eid_t m = hi - lo;
     // Sort the bucket by (group key, target) where the group key is the

@@ -15,22 +15,36 @@
 
 #include "graph/edge_list.hpp"
 #include "partition/partitioner.hpp"
+#include "sys/arena.hpp"
+#include "sys/numa.hpp"
 #include "sys/types.hpp"
 
 namespace grind::partition {
 
-/// One partition's pruned CSR.
+/// One partition's pruned CSR.  The arrays are DomainVectors — per-partition
+/// replication buffers allocated through the owning NUMA domain's arena
+/// (sys/arena.hpp); the domain tag travels with copies, so a copied layout
+/// keeps its placement.  Built without a NumaModel they sit on domain 0's
+/// arena, which in the logical fallback is plain first-touched memory.
 struct PrunedCsrPart {
   /// Sources present in this partition (sorted ascending) — the "vertex ID
   /// sidecar".  Its length divided by |V| summed over partitions is the
   /// replication factor.
-  std::vector<vid_t> vertex_ids;
+  DomainVector<vid_t> vertex_ids;
   /// offsets[i]..offsets[i+1] index the edges of vertex_ids[i].
-  std::vector<eid_t> offsets;
+  DomainVector<eid_t> offsets;
   /// Edge targets (destinations for by-destination partitioning).
-  std::vector<vid_t> targets;
+  DomainVector<vid_t> targets;
   /// Weights aligned with targets.
-  std::vector<weight_t> weights;
+  DomainVector<weight_t> weights;
+
+  /// Point the (empty) arrays at domain `d`'s arena before filling them.
+  void set_domain(int d) {
+    vertex_ids = DomainVector<vid_t>(ArenaAllocator<vid_t>(d));
+    offsets = DomainVector<eid_t>(ArenaAllocator<eid_t>(d));
+    targets = DomainVector<vid_t>(ArenaAllocator<vid_t>(d));
+    weights = DomainVector<weight_t>(ArenaAllocator<weight_t>(d));
+  }
 
   [[nodiscard]] vid_t num_local_vertices() const {
     return static_cast<vid_t>(vertex_ids.size());
@@ -57,9 +71,15 @@ class PartitionedCsr {
 
   /// Build from an edge list and a partitioning (by destination: group
   /// partition p's in-edges by source; by source: group p's out-edges by
-  /// destination — the symmetric construction).
+  /// destination — the symmetric construction).  With a NumaModel, each
+  /// partition's arrays — including the replicated-vertex sidecar, the
+  /// per-partition replication buffer of §II-E — are *allocated* through
+  /// the ArenaAllocator of NumaModel::domain_of_partition, so the pages
+  /// are first-touch-faulted on (and, under GRIND_NUMA, bound to) the
+  /// owning domain from the start.
   static PartitionedCsr build(const graph::EdgeList& el,
-                              const Partitioning& parts);
+                              const Partitioning& parts,
+                              const NumaModel* numa = nullptr);
 
   [[nodiscard]] part_t num_partitions() const {
     return static_cast<part_t>(parts_.size());

@@ -1,16 +1,24 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace grind::partition {
 
 part_t Partitioning::partition_of(vid_t v) const {
+  // Explicit contract (was a debug-only assert that silently returned the
+  // last partition in release builds): vertices outside [0, num_vertices())
+  // have no home partition and asking for one is a caller bug.
+  if (v >= num_vertices()) {
+    throw std::out_of_range("Partitioning::partition_of: vertex " +
+                            std::to_string(v) + " outside [0, " +
+                            std::to_string(num_vertices()) + ")");
+  }
   // Boundaries are sorted; find the last range whose begin <= v.
   const auto it = std::upper_bound(
       ranges_.begin(), ranges_.end(), v,
       [](vid_t lhs, const VertexRange& r) { return lhs < r.begin; });
-  assert(it != ranges_.begin());
   return static_cast<part_t>((it - ranges_.begin()) - 1);
 }
 
@@ -24,17 +32,18 @@ void Partitioning::build_sub_chunks() {
 }
 
 double Partitioning::edge_imbalance() const {
+  // The paper's P·max/total: the mean is over *all* P partitions.  An
+  // earlier version averaged over non-empty partitions only, which made a
+  // graph whose edges collapse into a few partitions (small |V| vs P·align)
+  // report near-perfect balance while most partitions sat idle.
   eid_t total = 0, peak = 0;
-  part_t nonempty = 0;
   for (part_t p = 0; p < num_partitions(); ++p) {
     total += edge_counts_[p];
     peak = std::max(peak, edge_counts_[p]);
-    if (edge_counts_[p] > 0) ++nonempty;
   }
-  if (nonempty == 0 || total == 0) return 1.0;
-  const double mean =
-      static_cast<double>(total) / static_cast<double>(nonempty);
-  return static_cast<double>(peak) / mean;
+  if (num_partitions() == 0 || total == 0) return 1.0;
+  return static_cast<double>(peak) * static_cast<double>(num_partitions()) /
+         static_cast<double>(total);
 }
 
 namespace {

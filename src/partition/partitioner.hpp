@@ -79,6 +79,11 @@ class Partitioning {
   [[nodiscard]] const PartitionOptions& options() const { return opts_; }
 
   /// Home partition of vertex v — O(log P) binary search over boundaries.
+  /// Contract: v must lie in [0, num_vertices()); out-of-range vertices
+  /// (including any v on an empty partitioning) have no home partition and
+  /// throw std::out_of_range.  Callers that may hold foreign IDs must range-
+  /// check first — the old behaviour of silently returning the last
+  /// partition mis-homed every out-of-range edge endpoint.
   [[nodiscard]] part_t partition_of(vid_t v) const;
 
   /// Number of vertices covered (== |V| of the partitioned graph).
@@ -86,8 +91,10 @@ class Partitioning {
     return ranges_.empty() ? 0 : ranges_.back().end;
   }
 
-  /// max(edges_in) / mean(edges_in) over non-empty partitions — the load
-  /// imbalance the split criterion tries to keep near 1.
+  /// The paper's load-imbalance metric P·max(edges_in)/Σ edges_in, i.e.
+  /// peak over mean with the mean taken over *all* P partitions (empty ones
+  /// included — they represent idle domains, which is exactly the imbalance
+  /// being measured).  1.0 for perfectly balanced or empty partitionings.
   [[nodiscard]] double edge_imbalance() const;
 
   /// The partition ranges split into word-aligned kSubChunkVertices-sized

@@ -49,7 +49,7 @@ GraphService::GraphService(graph::Graph g, ServiceConfig cfg)
     default_source_ = graph_.max_out_degree_source();
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 GraphService::~GraphService() { shutdown(); }
@@ -68,11 +68,19 @@ void GraphService::shutdown() {
   workers_.clear();
 }
 
-void GraphService::worker_loop() {
+void GraphService::worker_loop(std::size_t index) {
   // Limit OpenMP parallelism for this worker only: queries run with
   // threads_per_query-wide inner parallelism, so k workers never
   // oversubscribe beyond k·threads_per_query.
   ThreadLimitGuard limit(cfg_.threads_per_query);
+  // Pin the worker round-robin to the graph's NUMA domains: its traversals
+  // start from its home domain's partitions, its pool leases prefer scratch
+  // warm on that domain, and under a physical libnuma backend the OS thread
+  // is bound to the node holding those partitions' arenas.
+  const NumaModel& numa = graph_.numa();
+  DomainPinGuard pin(
+      numa.domain_of_thread(static_cast<int>(index),
+                            static_cast<int>(cfg_.workers)));
   for (;;) {
     std::function<void()> job;
     {
@@ -101,7 +109,8 @@ std::future<QueryResult> GraphService::submit(QueryRequest req) {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> fut = promise->get_future();
   enqueue([this, request, promise] {
-    auto lease = pool_.acquire();
+    // The job runs on a pinned worker: lease scratch warm on its domain.
+    auto lease = pool_.acquire(preferred_domain());
     QueryResult r = execute(*request, *lease);
     lease.release();  // return the workspace before the future wakes waiters
     record(r);
@@ -153,7 +162,7 @@ std::vector<QueryResult> GraphService::run_batch(
       auto done = std::make_shared<std::promise<void>>();
       slices.push_back(done->get_future());
       enqueue([this, state, done, mine = std::move(mine)] {
-        auto lease = pool_.acquire();
+        auto lease = pool_.acquire(preferred_domain());
         for (std::size_t i : mine) {
           state->results[i] = execute(state->reqs[i], *lease);
           record(state->results[i]);

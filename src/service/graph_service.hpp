@@ -18,7 +18,11 @@
 //     per-query mutable state is thread-confined;
 //   * workers run their queries under a ThreadLimitGuard(threads_per_query),
 //     which limits OpenMP parallelism for that thread only — concurrency
-//     across queries, not oversubscription within them.
+//     across queries, not oversubscription within them;
+//   * workers are pinned round-robin to the graph's NUMA domains
+//     (DomainPinGuard): worker i's home is NumaModel::domain_of_thread(i),
+//     so its traversals visit home-domain partitions first and its
+//     workspace leases prefer scratch last used on the same domain.
 //
 // submit() runs one query and returns a future.  run_batch() groups
 // same-algorithm requests and splits each group into per-worker slices; a
@@ -163,7 +167,7 @@ class GraphService {
   [[nodiscard]] vid_t default_source() const { return default_source_; }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
   void enqueue(std::function<void()> job);
   /// Run one query on a leased workspace (no locks held); never throws.
   [[nodiscard]] QueryResult execute(const QueryRequest& req,

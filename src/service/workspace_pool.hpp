@@ -13,6 +13,14 @@
 //
 // Leases are RAII: destroying a Lease returns the workspace even when the
 // query throws, so an algorithm failure can never drain the pool.
+//
+// Leases are domain-preferring: acquire(domain) first looks for an idle
+// workspace last used on the same NUMA domain, so a pinned service worker
+// keeps getting scratch whose pages (bitmaps, push buffers, cached affine
+// schedules) were faulted in by threads of its own domain.  Creating a
+// fresh workspace beats stealing another domain's warm one; a foreign warm
+// workspace is the last resort.  Domain kAnyDomain (-1) restores the old
+// most-recently-returned behaviour.
 #pragma once
 
 #include <condition_variable>
@@ -29,6 +37,9 @@ namespace grind::service {
 
 class WorkspacePool {
  public:
+  /// acquire() domain argument meaning "no placement preference".
+  static constexpr int kAnyDomain = -1;
+
   /// A pool that will create at most `cap` workspaces (cap is clamped to at
   /// least 1; a zero-capacity pool could never serve a query).
   explicit WorkspacePool(std::size_t cap) : cap_(cap == 0 ? 1 : cap) {
@@ -45,12 +56,14 @@ class WorkspacePool {
     Lease() = default;
     Lease(Lease&& other) noexcept
         : pool_(std::exchange(other.pool_, nullptr)),
-          ws_(std::move(other.ws_)) {}
+          ws_(std::move(other.ws_)),
+          domain_(other.domain_) {}
     Lease& operator=(Lease&& other) noexcept {
       if (this != &other) {
         release();
         pool_ = std::exchange(other.pool_, nullptr);
         ws_ = std::move(other.ws_);
+        domain_ = other.domain_;
       }
       return *this;
     }
@@ -60,39 +73,45 @@ class WorkspacePool {
     [[nodiscard]] engine::TraversalWorkspace& operator*() { return *ws_; }
     [[nodiscard]] engine::TraversalWorkspace* operator->() { return ws_.get(); }
     [[nodiscard]] engine::TraversalWorkspace* get() { return ws_.get(); }
+    /// Domain this lease was acquired for (kAnyDomain when unspecified);
+    /// the workspace is re-tagged with it on check-in.
+    [[nodiscard]] int domain() const { return domain_; }
 
     /// Return the workspace early (idempotent).
     void release() {
       if (pool_ != nullptr && ws_ != nullptr)
-        pool_->check_in(std::move(ws_));
+        pool_->check_in(std::move(ws_), domain_);
       pool_ = nullptr;
       ws_ = nullptr;
     }
 
    private:
     friend class WorkspacePool;
-    Lease(WorkspacePool* pool,
-          std::unique_ptr<engine::TraversalWorkspace> ws)
-        : pool_(pool), ws_(std::move(ws)) {}
+    Lease(WorkspacePool* pool, std::unique_ptr<engine::TraversalWorkspace> ws,
+          int domain)
+        : pool_(pool), ws_(std::move(ws)), domain_(domain) {}
 
     WorkspacePool* pool_ = nullptr;
     std::unique_ptr<engine::TraversalWorkspace> ws_;
+    int domain_ = kAnyDomain;
   };
 
   /// Check a workspace out, blocking while all `capacity()` workspaces are
   /// leased.  Lazily creates a new workspace when none is idle but the cap
-  /// has not been reached.
-  [[nodiscard]] Lease acquire() {
+  /// has not been reached.  `domain` expresses a placement preference
+  /// (typically sys preferred_domain() of a pinned worker); it never
+  /// changes *whether* a workspace is obtained, only which one.
+  [[nodiscard]] Lease acquire(int domain = kAnyDomain) {
     std::unique_lock<std::mutex> lock(m_);
     cv_.wait(lock, [&] { return !idle_.empty() || created_ < cap_; });
-    return take(lock);
+    return take(lock, domain);
   }
 
   /// Non-blocking check-out; std::nullopt when the pool is exhausted.
-  [[nodiscard]] std::optional<Lease> try_acquire() {
+  [[nodiscard]] std::optional<Lease> try_acquire(int domain = kAnyDomain) {
     std::unique_lock<std::mutex> lock(m_);
     if (idle_.empty() && created_ >= cap_) return std::nullopt;
-    return take(lock);
+    return take(lock, domain);
   }
 
   /// Maximum number of workspaces this pool will ever create.
@@ -114,29 +133,52 @@ class WorkspacePool {
   }
 
  private:
-  Lease take(std::unique_lock<std::mutex>&) {
+  struct Idle {
+    std::unique_ptr<engine::TraversalWorkspace> ws;
+    int domain;  ///< domain of the lease that returned it (kAnyDomain: none)
+  };
+
+  Lease take(std::unique_lock<std::mutex>&, int domain) {
     std::unique_ptr<engine::TraversalWorkspace> ws;
     if (!idle_.empty()) {
-      ws = std::move(idle_.back());
-      idle_.pop_back();
+      // Preference order: (1) idle workspace warm on the requested domain
+      // (most recently returned first), (2) a fresh workspace — no pages to
+      // mis-inherit, (3) any idle workspace, most recently returned first.
+      std::size_t pick = idle_.size();  // sentinel: none matched
+      if (domain != kAnyDomain) {
+        for (std::size_t i = idle_.size(); i-- > 0;) {
+          if (idle_[i].domain == domain) {
+            pick = i;
+            break;
+          }
+        }
+      }
+      if (pick == idle_.size() && domain != kAnyDomain && created_ < cap_) {
+        ++created_;
+        return Lease(this, std::make_unique<engine::TraversalWorkspace>(),
+                     domain);
+      }
+      if (pick == idle_.size()) pick = idle_.size() - 1;
+      ws = std::move(idle_[pick].ws);
+      idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(pick));
     } else {
       ws = std::make_unique<engine::TraversalWorkspace>();
       ++created_;
     }
-    return Lease(this, std::move(ws));
+    return Lease(this, std::move(ws), domain);
   }
 
-  void check_in(std::unique_ptr<engine::TraversalWorkspace> ws) {
+  void check_in(std::unique_ptr<engine::TraversalWorkspace> ws, int domain) {
     {
       std::lock_guard<std::mutex> lock(m_);
-      idle_.push_back(std::move(ws));
+      idle_.push_back(Idle{std::move(ws), domain});
     }
     cv_.notify_one();
   }
 
   mutable std::mutex m_;
   std::condition_variable cv_;
-  std::vector<std::unique_ptr<engine::TraversalWorkspace>> idle_;
+  std::vector<Idle> idle_;
   std::size_t created_ = 0;
   const std::size_t cap_;
 };

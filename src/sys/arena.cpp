@@ -1,0 +1,155 @@
+#include "sys/arena.hpp"
+
+#include <cstring>
+#include <new>
+
+#ifdef GRIND_NUMA
+#include <numa.h>
+#include <numaif.h>
+#include <unistd.h>
+#endif
+
+namespace grind {
+
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+
+/// Fault every page of [p, p+bytes) in from the calling thread.  Under the
+/// physical backend the pages land on the node the allocation is bound to;
+/// in the logical fallback this still moves the fault cost out of the
+/// traversal's timed region (the first-touch contract either way).
+void first_touch(void* p, std::size_t bytes) {
+  if (p == nullptr || bytes == 0) return;
+  auto* c = static_cast<volatile char*>(p);
+  for (std::size_t i = 0; i < bytes; i += kPageBytes) c[i] = 0;
+  c[bytes - 1] = 0;
+}
+
+#ifdef GRIND_NUMA
+/// -1 until probed; then the node count when numa_available() succeeds with
+/// more than one node, else 0 (logical fallback).
+int probe_physical_nodes() {
+  if (numa_available() < 0) return 0;
+  const int nodes = numa_max_node() + 1;
+  return nodes > 1 ? nodes : 0;
+}
+#endif
+
+int physical_nodes_cached() {
+#ifdef GRIND_NUMA
+  static const int nodes = probe_physical_nodes();
+  return nodes;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+NumaArenas& NumaArenas::instance() {
+  static NumaArenas arenas;
+  return arenas;
+}
+
+bool NumaArenas::physical() { return physical_nodes_cached() > 0; }
+
+int NumaArenas::physical_nodes() { return physical_nodes_cached(); }
+
+void NumaArenas::account(int domain, std::int64_t delta) {
+  if (domain < 0) domain = 0;
+  std::lock_guard<std::mutex> lock(m_);
+  if (static_cast<std::size_t>(domain) >= bytes_.size())
+    bytes_.resize(static_cast<std::size_t>(domain) + 1, 0);
+  bytes_[static_cast<std::size_t>(domain)] += delta;
+}
+
+void* NumaArenas::allocate(std::size_t bytes, int domain) {
+  if (domain < 0) domain = 0;
+  void* p = nullptr;
+#ifdef GRIND_NUMA
+  if (physical()) {
+    p = numa_alloc_onnode(bytes ? bytes : 1, domain % physical_nodes());
+    if (p == nullptr) throw std::bad_alloc();
+  }
+#endif
+  if (p == nullptr) p = ::operator new(bytes ? bytes : 1);
+  first_touch(p, bytes);
+  account(domain, static_cast<std::int64_t>(bytes));
+  return p;
+}
+
+void NumaArenas::deallocate(void* p, std::size_t bytes, int domain) noexcept {
+  if (p == nullptr) return;
+#ifdef GRIND_NUMA
+  if (physical()) {
+    numa_free(p, bytes ? bytes : 1);
+    account(domain, -static_cast<std::int64_t>(bytes));
+    return;
+  }
+#endif
+  ::operator delete(p);
+  account(domain, -static_cast<std::int64_t>(bytes));
+}
+
+void NumaArenas::place(const void* p, std::size_t bytes, int domain) {
+  if (p == nullptr || bytes == 0) return;
+  if (domain < 0) domain = 0;
+#ifdef GRIND_NUMA
+  if (physical()) {
+    // mbind wants whole, page-aligned pages; bind the contained ones and
+    // let the sub-page fringes stay where first-touch put them.
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t lo = (addr + kPageBytes - 1) & ~(kPageBytes - 1);
+    const std::uintptr_t hi = (addr + bytes) & ~(kPageBytes - 1);
+    if (lo < hi) {
+      const int node = domain % physical_nodes();
+      unsigned long mask[8] = {};
+      mask[static_cast<std::size_t>(node) / (8 * sizeof(unsigned long))] |=
+          1UL << (static_cast<std::size_t>(node) % (8 * sizeof(unsigned long)));
+      // Best effort: a failed mbind (e.g. cpuset restrictions) degrades to
+      // first-touch placement, which is still correct.
+      (void)mbind(reinterpret_cast<void*>(lo), hi - lo, MPOL_BIND, mask,
+                  8 * sizeof(mask), MPOL_MF_MOVE);
+    }
+  }
+#endif
+  account(domain, static_cast<std::int64_t>(bytes));
+}
+
+std::uint64_t NumaArenas::bytes_on(int domain) const {
+  if (domain < 0) domain = 0;
+  std::lock_guard<std::mutex> lock(m_);
+  if (static_cast<std::size_t>(domain) >= bytes_.size()) return 0;
+  const std::int64_t b = bytes_[static_cast<std::size_t>(domain)];
+  return b > 0 ? static_cast<std::uint64_t>(b) : 0;
+}
+
+std::uint64_t NumaArenas::total_bytes() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::int64_t total = 0;
+  for (std::int64_t b : bytes_) total += b > 0 ? b : 0;
+  return static_cast<std::uint64_t>(total);
+}
+
+int NumaArenas::domains_touched() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return static_cast<int>(bytes_.size());
+}
+
+void NumaArenas::reset_stats() {
+  std::lock_guard<std::mutex> lock(m_);
+  bytes_.clear();
+}
+
+void bind_thread_to_domain(int domain) {
+#ifdef GRIND_NUMA
+  if (NumaArenas::physical()) {
+    numa_run_on_node(domain < 0 ? -1 : domain % NumaArenas::physical_nodes());
+    return;
+  }
+#endif
+  (void)domain;  // logical fallback: affinity is modeled, not enforced
+}
+
+}  // namespace grind

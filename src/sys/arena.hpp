@@ -1,0 +1,129 @@
+// Per-NUMA-domain memory arenas (§III-D: "each partition is allocated on
+// one NUMA domain").
+//
+// Two binding primitives cover the two shapes partition-owned storage takes:
+//
+//   * allocate()/deallocate() + ArenaAllocator<T> — whole allocations owned
+//     by a single domain (e.g. one partition's pruned-CSR sidecar arrays).
+//     The adapter first-touch-faults every page at allocation time so the
+//     pages are resident before the traversal's timed region, and — when the
+//     physical backend is active — are faulted on the owning node.
+//   * place() — page-granular binding of a *slice* of a larger array.  The
+//     partition-major layouts (COO edge buckets, CSR/CSC row slices) must
+//     stay contiguous for O(1) span access, so they cannot be built from
+//     per-partition allocations; instead each partition's byte range is
+//     bound after the fact.
+//
+// Backend selection happens once per process:
+//   * compiled with -DGRIND_NUMA (CMake autodetects libnuma) *and* the
+//     machine reports more than one NUMA node at runtime → physical
+//     placement: numa_alloc_onnode for allocations, mbind(MPOL_BIND) for
+//     page ranges, numa_run_on_node for thread pinning;
+//   * otherwise → the logical model: plain allocation plus first-touch
+//     faulting, with per-domain byte accounting kept identically so tests,
+//     ggtool and bench_numa_locality report the same placement map either
+//     way.  docs/NUMA.md has the full fallback matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace grind {
+
+/// Process-wide per-domain arena registry.  Thread-safe; all methods may be
+/// called concurrently (the builder places layouts while tests read stats).
+class NumaArenas {
+ public:
+  static NumaArenas& instance();
+
+  /// True when physical placement (libnuma) is active for this process.
+  static bool physical();
+  /// Number of physical NUMA nodes backing the arenas (0 when logical).
+  static int physical_nodes();
+
+  /// Allocate `bytes` owned by `domain`, first-touch-faulted.  Never
+  /// returns nullptr (throws std::bad_alloc).  Domain < 0 maps to 0;
+  /// domains beyond the physical node count wrap round-robin onto nodes.
+  void* allocate(std::size_t bytes, int domain);
+
+  /// Release an allocate()d block.  `bytes` and `domain` must match the
+  /// allocation (the arena keeps no per-pointer table).
+  void deallocate(void* p, std::size_t bytes, int domain) noexcept;
+
+  /// Bind the byte range [p, p+bytes) to `domain`: mbind of the contained
+  /// whole pages under the physical backend, accounting-only otherwise.
+  /// The full `bytes` are accounted to the domain either way.
+  void place(const void* p, std::size_t bytes, int domain);
+
+  /// Bytes currently accounted to `domain` (allocations live + placements
+  /// since the last reset_stats()).
+  [[nodiscard]] std::uint64_t bytes_on(int domain) const;
+  /// Sum of bytes_on over all domains touched so far.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  /// Highest domain index touched so far, plus one.
+  [[nodiscard]] int domains_touched() const;
+
+  /// Zero the per-domain accounting (benchmarks isolate one build's map).
+  void reset_stats();
+
+ private:
+  NumaArenas() = default;
+  void account(int domain, std::int64_t delta);
+
+  mutable std::mutex m_;
+  std::vector<std::int64_t> bytes_;
+};
+
+/// Pin the calling thread to the physical node backing `domain` (no-op in
+/// the logical fallback).  Pass domain < 0 to undo the pin.
+void bind_thread_to_domain(int domain);
+
+/// First-touch page-faulting allocator adapter over NumaArenas: a
+/// std::allocator-compatible handle bound to one domain.  Two instances
+/// compare equal iff they target the same domain, so containers only
+/// reallocate-and-move when rebinding across domains.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // The domain tag travels with the buffer: assignment/swap move the
+  // allocator along (so a container handed a new domain's data adopts that
+  // domain), and copies allocate on the source's domain — a copied graph
+  // layout keeps its partition placement.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(int domain) noexcept : domain_(domain) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : domain_(other.domain()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        NumaArenas::instance().allocate(n * sizeof(T), domain_));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    NumaArenas::instance().deallocate(p, n * sizeof(T), domain_);
+  }
+
+  [[nodiscard]] int domain() const noexcept { return domain_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.domain_ == b.domain_;
+  }
+
+ private:
+  int domain_ = 0;
+};
+
+/// A vector whose backing store lives on one NUMA domain's arena.
+template <typename T>
+using DomainVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace grind

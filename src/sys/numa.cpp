@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sys/arena.hpp"
+
 namespace grind {
 
 NumaModel::NumaModel(int domains) : domains_(domains < 1 ? 1 : domains) {}
@@ -16,8 +18,17 @@ int NumaModel::domain_of_partition(part_t p, part_t total) const {
 
 int NumaModel::domain_of_thread(int thread, int total_threads) const {
   if (total_threads <= 0) return 0;
-  // Uniform spread: threads t, t+D, t+2D... share a domain.
-  return thread % domains_;
+  if (thread < 0) thread = 0;
+  thread %= total_threads;
+  if (total_threads >= domains_) {
+    // Uniform spread: threads t, t+D, t+2D... share a domain.
+    return thread % domains_;
+  }
+  // Fewer threads than domains: spread the T homes over the whole domain
+  // space (⌊t·D/T⌋ is injective for T ≤ D), so no domain cluster is left
+  // for every thread to steal from in the same order.
+  return static_cast<int>((static_cast<long long>(thread) * domains_) /
+                          total_threads);
 }
 
 part_t NumaModel::admissible_partitions(part_t partitions) const {
@@ -26,16 +37,46 @@ part_t NumaModel::admissible_partitions(part_t partitions) const {
   return ((partitions + d - 1) / d) * d;
 }
 
-std::vector<part_t> NumaModel::visit_order(int thread, int total_threads,
-                                          part_t total_partitions) const {
+std::vector<part_t> NumaModel::visit_order_for_domain(
+    int home, part_t total_partitions) const {
   std::vector<part_t> order;
   order.reserve(total_partitions);
-  const int home = domain_of_thread(thread, total_threads);
-  for (part_t p = 0; p < total_partitions; ++p)
-    if (domain_of_partition(p, total_partitions) == home) order.push_back(p);
-  for (part_t p = 0; p < total_partitions; ++p)
-    if (domain_of_partition(p, total_partitions) != home) order.push_back(p);
+  if (home < 0) home = 0;
+  home %= domains_;
+  // Home domain's partitions first, then the other domains rotated to start
+  // just after home, ascending partition index within each domain.
+  for (int k = 0; k < domains_; ++k) {
+    const int d = (home + k) % domains_;
+    for (part_t p = 0; p < total_partitions; ++p)
+      if (domain_of_partition(p, total_partitions) == d) order.push_back(p);
+  }
   return order;
+}
+
+std::vector<part_t> NumaModel::visit_order(int thread, int total_threads,
+                                          part_t total_partitions) const {
+  return visit_order_for_domain(domain_of_thread(thread, total_threads),
+                                total_partitions);
+}
+
+namespace {
+thread_local int t_preferred_domain = -1;
+}  // namespace
+
+int preferred_domain() { return t_preferred_domain; }
+
+void set_preferred_domain(int domain) {
+  t_preferred_domain = domain < 0 ? -1 : domain;
+}
+
+DomainPinGuard::DomainPinGuard(int domain) : saved_(t_preferred_domain) {
+  set_preferred_domain(domain);
+  bind_thread_to_domain(domain);
+}
+
+DomainPinGuard::~DomainPinGuard() {
+  set_preferred_domain(saved_);
+  bind_thread_to_domain(saved_);
 }
 
 }  // namespace grind

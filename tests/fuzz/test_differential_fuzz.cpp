@@ -103,6 +103,7 @@ struct Knobs {
   vid_t boundary_align;
   engine::Layout layout;
   engine::AtomicsMode atomics;
+  int domains;  ///< NUMA-domain count: exercises domain-affine scheduling
 };
 
 Knobs make_knobs(std::mt19937_64& rng) {
@@ -115,12 +116,19 @@ Knobs make_knobs(std::mt19937_64& rng) {
   static constexpr engine::AtomicsMode kAtomics[] = {
       engine::AtomicsMode::kAuto, engine::AtomicsMode::kForceOn,
       engine::AtomicsMode::kForceOff};
+  // Domain counts bracket the interesting regimes: trivial (1), fewer
+  // domains than typical thread counts, the paper's 4, and more domains
+  // than partitions on small graphs (8).  Every algorithm must produce
+  // identical results across all of them — the domain-affine scheduler may
+  // only change *who* processes a partition, never the outcome.
+  static constexpr int kDomains[] = {1, 2, 3, 4, 8};
   Knobs k;
   k.ordering = orderings[rng() % orderings.size()];
   k.partitions = kParts[rng() % std::size(kParts)];
   k.boundary_align = kAligns[rng() % std::size(kAligns)];
   k.layout = kLayouts[rng() % std::size(kLayouts)];
   k.atomics = kAtomics[rng() % std::size(kAtomics)];
+  k.domains = kDomains[rng() % std::size(kDomains)];
   return k;
 }
 
@@ -143,13 +151,15 @@ TEST(DifferentialFuzz, AllAlgorithmsMatchReferenceAcrossRandomConfigs) {
           << " ordering=" << graph::ordering_name(k.ordering)
           << " partitions=" << k.partitions << " align=" << k.boundary_align
           << " layout=" << layout_str(k.layout)
-          << " atomics=" << static_cast<int>(k.atomics);
+          << " atomics=" << static_cast<int>(k.atomics)
+          << " domains=" << k.domains;
     SCOPED_TRACE(repro.str());
 
     graph::BuildOptions bopts;
     bopts.ordering = k.ordering;
     bopts.num_partitions = k.partitions;
     bopts.boundary_align = k.boundary_align;
+    bopts.numa_domains = k.domains;
     bopts.build_partitioned_csr =
         k.layout == engine::Layout::kPartitionedCsr;
     const graph::Graph g = graph::Graph::build(graph::EdgeList(el), bopts);
@@ -236,6 +246,44 @@ TEST(DifferentialFuzz, AllAlgorithmsMatchReferenceAcrossRandomConfigs) {
                                               popts.q_base, popts.q_scale,
                                               popts.prior_seed),
                       1e-9, "BP belief0");
+    }
+  }
+}
+
+TEST(DifferentialFuzz, DomainCountNeverChangesAlgorithmOutputs) {
+  // Direct cross-domain identity: the same graph built at domains ∈
+  // {1,2,4,8} must produce bit-identical BFS levels and numerically
+  // identical PageRank under the domain-affine scheduler.  (The main sweep
+  // checks each domain count against the oracles; this pins the pairwise
+  // claim explicitly.)
+  std::mt19937_64 rng(kBaseSeed ^ 0xD0D0ull);
+  for (int family : {0, 1, 2, 6}) {
+    graph::EdgeList el = make_graph(family, rng);
+    randomize_weights(el, rng);
+    const vid_t source = static_cast<vid_t>(rng() % el.num_vertices());
+    SCOPED_TRACE(std::string("family=") + kFamilyNames[family] +
+                 " n=" + std::to_string(el.num_vertices()) +
+                 " source=" + std::to_string(source));
+
+    std::vector<std::int64_t> base_levels;
+    std::vector<double> base_rank;
+    for (int domains : {1, 2, 4, 8}) {
+      graph::BuildOptions bopts;
+      bopts.numa_domains = domains;
+      const graph::Graph g = graph::Graph::build(graph::EdgeList(el), bopts);
+      engine::TraversalWorkspace ws;
+      const auto levels = bfs(g, ws, source).level;
+      const auto rank = pagerank(g, ws, {}).rank;
+      if (domains == 1) {
+        base_levels = levels;
+        base_rank = rank;
+        continue;
+      }
+      ASSERT_EQ(levels, base_levels) << "domains=" << domains;
+      ASSERT_EQ(rank.size(), base_rank.size());
+      for (std::size_t v = 0; v < rank.size(); ++v)
+        ASSERT_DOUBLE_EQ(rank[v], base_rank[v])
+            << "domains=" << domains << " v=" << v;
     }
   }
 }

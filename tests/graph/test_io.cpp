@@ -130,6 +130,97 @@ TEST_F(IoTest, BinaryTruncatedThrows) {
   EXPECT_THROW(load_binary(path), std::runtime_error);
 }
 
+namespace {
+
+/// Write a syntactically valid binary header (magic + version) with the
+/// given counts and `payload_edges` real edges behind it.
+void write_binary_header(const std::string& path, std::uint64_t nv,
+                         std::uint64_t ne, std::size_t payload_edges) {
+  std::ofstream out(path, std::ios::binary);
+  const std::uint64_t magic = 0x4747524e44475248ULL;  // "GGRNDGRH"
+  const std::uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&nv), sizeof nv);
+  out.write(reinterpret_cast<const char*>(&ne), sizeof ne);
+  for (std::size_t i = 0; i < payload_edges; ++i) {
+    const Edge e{static_cast<vid_t>(i), static_cast<vid_t>(i + 1), 1.0f};
+    out.write(reinterpret_cast<const char*>(&e), sizeof e);
+  }
+}
+
+}  // namespace
+
+TEST_F(IoTest, BinaryHugeEdgeCountRejectedBeforeAllocation) {
+  // PR 4 regression: a corrupt header claiming ~10^15 edges used to drive
+  // std::vector<Edge> edges(ne) — a petabyte resize / bad_alloc — before
+  // the truncation check ever ran.  The loader must validate `ne` against
+  // the actual file size first and fail through the normal error path.
+  const auto path = temp_path("huge_ne.bin");
+  write_binary_header(path, /*nv=*/4, /*ne=*/1ull << 50, /*payload_edges=*/2);
+  EXPECT_THROW(
+      {
+        try {
+          load_binary(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryVertexCountOverflowRejected) {
+  // nv wider than vid_t used to be silently truncated by static_cast —
+  // 2^33 vertices became 0 — producing a graph that disagreed with its
+  // own edges.  Now it fails loudly.
+  const auto path = temp_path("huge_nv.bin");
+  write_binary_header(path, /*nv=*/1ull << 33, /*ne=*/1, /*payload_edges=*/1);
+  EXPECT_THROW(
+      {
+        try {
+          load_binary(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("overflow"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryMaximalRepresentableVertexCountAccepted) {
+  // The contract boundary: nv == 2^32 - 1 still fits vid_t and must load.
+  const auto path = temp_path("max_nv.bin");
+  const std::uint64_t nv = 0xFFFFFFFFull;
+  write_binary_header(path, nv, /*ne=*/1, /*payload_edges=*/1);
+  const EdgeList el = load_binary(path);
+  EXPECT_EQ(el.num_vertices(), static_cast<vid_t>(nv));
+  EXPECT_EQ(el.num_edges(), 1u);
+}
+
+TEST_F(IoTest, BinaryTruncatedHeaderThrows) {
+  // A file that ends inside the header (magic only) must fail cleanly.
+  const auto path = temp_path("half_header.bin");
+  std::ofstream out(path, std::ios::binary);
+  const std::uint64_t magic = 0x4747524e44475248ULL;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.close();
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryGarbageHeaderCountsThrow) {
+  // Random bytes where the counts live: either the sanity checks or the
+  // payload check must reject it — never a crash or a silent mis-parse.
+  const auto path = temp_path("garbage_counts.bin");
+  write_binary_header(path, /*nv=*/0xDEADBEEFFEEDFACEull,
+                      /*ne=*/0xABCDABCDABCDull, /*payload_edges=*/3);
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+}
+
 TEST_F(IoTest, SnapPreservesWeightedFlagRoundTrip) {
   EdgeList el;
   el.add(0, 1, 3.5f);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
 #include <tuple>
 
 #include "graph/generators.hpp"
@@ -140,6 +142,51 @@ TEST(Partitioner, EmptyGraph) {
   const auto parts = make_partitioning(EdgeList{}, 4);
   EXPECT_EQ(parts.num_partitions(), 4u);
   EXPECT_EQ(parts.num_vertices(), 0u);
+}
+
+TEST(Partitioner, PartitionOfThrowsOutOfRangeBeyondVertexSet) {
+  // PR 4 regression: out-of-range vertices used to be silently homed in the
+  // last partition (the assert only fired in debug builds).  The contract
+  // is now explicit: std::out_of_range.
+  const EdgeList el = graph::cycle(100);
+  const auto parts = make_partitioning(el, 4);
+  EXPECT_EQ(parts.partition_of(0), 0u);
+  EXPECT_NO_THROW(parts.partition_of(el.num_vertices() - 1));
+  EXPECT_THROW(parts.partition_of(el.num_vertices()), std::out_of_range);
+  EXPECT_THROW(parts.partition_of(kInvalidVertex), std::out_of_range);
+}
+
+TEST(Partitioner, PartitionOfOnEmptyPartitioningThrows) {
+  const Partitioning parts;  // no ranges at all
+  EXPECT_THROW(parts.partition_of(0), std::out_of_range);
+}
+
+TEST(Partitioner, EdgeImbalanceCountsEmptyPartitionsInTheMean) {
+  // PR 4 regression: the mean used to be over non-empty partitions only, so
+  // a graph whose aligned slots force all edges into 2 of 8 partitions
+  // reported ~1.0 ("perfectly balanced") while 6 domains sat idle.  The
+  // paper's metric is P·max/total.
+  const EdgeList el = graph::cycle(128);  // 2 aligned slots of 64 vertices
+  const auto parts = make_partitioning(el, 8);
+  eid_t peak = 0, total = 0;
+  for (part_t p = 0; p < 8; ++p) {
+    peak = std::max(peak, parts.edges_in(p));
+    total += parts.edges_in(p);
+  }
+  ASSERT_GT(total, 0u);
+  const double want = static_cast<double>(peak) * 8.0 /
+                      static_cast<double>(total);
+  EXPECT_DOUBLE_EQ(parts.edge_imbalance(), want);
+  EXPECT_GE(parts.edge_imbalance(), 4.0);  // 64/(128/8): far from balanced
+}
+
+TEST(Partitioner, EdgeImbalanceDirectConstruction) {
+  // {4,0,0,0} over 4 partitions: peak 4, mean 1 → imbalance 4 (was 1.0
+  // under the non-empty-mean bug).
+  std::vector<VertexRange> ranges{{0, 64}, {64, 64}, {64, 64}, {64, 64}};
+  std::vector<eid_t> counts{4, 0, 0, 0};
+  const Partitioning parts(std::move(ranges), std::move(counts), {});
+  EXPECT_DOUBLE_EQ(parts.edge_imbalance(), 4.0);
 }
 
 TEST(Partitioner, FromDegreesMatchesFromEdgeList) {

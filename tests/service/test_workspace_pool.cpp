@@ -110,6 +110,74 @@ TEST(ServiceWorkspacePool, BlockingAcquireWakesOnRelease) {
   EXPECT_TRUE(waiter.get());
 }
 
+TEST(ServiceWorkspacePool, DomainPreferringLeaseReturnsWarmSameDomainWorkspace) {
+  WorkspacePool pool(4);
+  engine::TraversalWorkspace* ws0 = nullptr;
+  engine::TraversalWorkspace* ws1 = nullptr;
+  {
+    auto l0 = pool.acquire(/*domain=*/0);
+    auto l1 = pool.acquire(/*domain=*/1);
+    EXPECT_EQ(l0.domain(), 0);
+    EXPECT_EQ(l1.domain(), 1);
+    ws0 = l0.get();
+    ws1 = l1.get();
+  }
+  // Both idle; a domain-1 acquire must pick the domain-1-warm workspace
+  // even though the domain-0 one was returned more recently... and vice
+  // versa, regardless of acquisition order.
+  {
+    auto l = pool.acquire(/*domain=*/1);
+    EXPECT_EQ(l.get(), ws1);
+  }
+  {
+    auto l = pool.acquire(/*domain=*/0);
+    EXPECT_EQ(l.get(), ws0);
+  }
+}
+
+TEST(ServiceWorkspacePool, DomainMissPrefersFreshWorkspaceOverForeignWarm) {
+  WorkspacePool pool(2);
+  engine::TraversalWorkspace* ws0 = nullptr;
+  {
+    auto l0 = pool.acquire(/*domain=*/0);
+    ws0 = l0.get();
+  }
+  // One domain-0-warm idle workspace, cap not reached: a domain-3 request
+  // should get a fresh workspace rather than inherit domain 0's pages.
+  auto l3 = pool.acquire(/*domain=*/3);
+  EXPECT_NE(l3.get(), ws0);
+  EXPECT_EQ(pool.created(), 2u);
+  // Cap reached and only the foreign workspace idle: fall back to it.
+  auto lmiss = pool.acquire(/*domain=*/3);
+  EXPECT_EQ(lmiss.get(), ws0);
+}
+
+TEST(ServiceWorkspacePool, AnyDomainKeepsMostRecentFirstBehaviour) {
+  WorkspacePool pool(2);
+  engine::TraversalWorkspace* last = nullptr;
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    last = b.get();
+    // a released first, then b: b is the most recently returned.
+    a.release();
+  }
+  auto l = pool.acquire();
+  EXPECT_EQ(l.get(), last);
+}
+
+TEST(ServiceWorkspacePool, DomainPreferenceNeverBlocksWhenIdleExists) {
+  WorkspacePool pool(1);
+  {
+    auto l = pool.acquire(/*domain=*/0);
+  }
+  // Cap exhausted (created == 1), only a domain-0 workspace idle; a
+  // domain-2 request must still be served immediately.
+  auto l = pool.try_acquire(/*domain=*/2);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(l->valid());
+}
+
 TEST(ServiceWorkspacePool, ManyThreadsNeverExceedCap) {
   constexpr std::size_t kCap = 3;
   WorkspacePool pool(kCap);

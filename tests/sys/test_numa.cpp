@@ -111,6 +111,78 @@ TEST(NumaModel, VisitOrderOwnDomainPrefixMatchesDomainSize) {
   }
 }
 
+TEST(NumaModel, FewThreadsSpreadHomesAcrossTheDomainSpace) {
+  // PR 4 regression: domain_of_thread used to ignore total_threads (t % D),
+  // so with T < D the homes clustered in the low domains — e.g. T=2, D=4
+  // gave homes {0, 1}, leaving domains 2 and 3 for every thread to steal in
+  // the same order.  Ownership must spread over the active thread count.
+  NumaModel numa(4);
+  EXPECT_EQ(numa.domain_of_thread(0, 2), 0);
+  EXPECT_EQ(numa.domain_of_thread(1, 2), 2);  // was 1 before the fix
+  EXPECT_EQ(numa.domain_of_thread(0, 3), 0);
+  EXPECT_EQ(numa.domain_of_thread(1, 3), 1);
+  EXPECT_EQ(numa.domain_of_thread(2, 3), 2);
+  // Property: for every T <= D, the T homes are pairwise distinct.
+  for (int domains : {2, 3, 4, 8, 13}) {
+    NumaModel m(domains);
+    for (int T = 1; T <= domains; ++T) {
+      std::vector<int> homes;
+      for (int t = 0; t < T; ++t) homes.push_back(m.domain_of_thread(t, T));
+      std::sort(homes.begin(), homes.end());
+      EXPECT_EQ(std::adjacent_find(homes.begin(), homes.end()), homes.end())
+          << "duplicate home with D=" << domains << " T=" << T;
+      EXPECT_GE(homes.front(), 0);
+      EXPECT_LT(homes.back(), domains);
+    }
+  }
+}
+
+TEST(NumaModel, StealOrderRotatesAwayFromTheHomeDomain) {
+  // The foreign portion of visit_order starts at home+1 and wraps, so
+  // threads of different homes steal any given domain's partitions in
+  // different positions — not all in ascending-domain order.
+  NumaModel numa(4);
+  const part_t total = 8;  // domains own {0,1},{2,3},{4,5},{6,7}
+  for (int t = 0; t < 4; ++t) {
+    const int home = numa.domain_of_thread(t, 4);
+    const auto order = numa.visit_order(t, 4, total);
+    ASSERT_EQ(order.size(), total);
+    // After the 2 home partitions, the next 2 belong to domain home+1 mod 4.
+    const int next_dom = (home + 1) % 4;
+    EXPECT_EQ(numa.domain_of_partition(order[2], total), next_dom)
+        << "thread " << t;
+    EXPECT_EQ(numa.domain_of_partition(order[3], total), next_dom)
+        << "thread " << t;
+    // And the last 2 belong to home+3 mod 4 (full rotation).
+    EXPECT_EQ(numa.domain_of_partition(order[6], total), (home + 3) % 4);
+    EXPECT_EQ(numa.domain_of_partition(order[7], total), (home + 3) % 4);
+  }
+}
+
+TEST(NumaModel, VisitOrderForDomainMatchesThreadVisitOrder) {
+  NumaModel numa(4);
+  const part_t total = 13;
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(numa.visit_order(t, 8, total),
+              numa.visit_order_for_domain(numa.domain_of_thread(t, 8), total));
+  }
+}
+
+TEST(NumaModel, PreferredDomainGuardSetsAndRestores) {
+  set_preferred_domain(-1);
+  EXPECT_EQ(preferred_domain(), -1);
+  {
+    DomainPinGuard pin(2);
+    EXPECT_EQ(preferred_domain(), 2);
+    {
+      DomainPinGuard inner(0);
+      EXPECT_EQ(preferred_domain(), 0);
+    }
+    EXPECT_EQ(preferred_domain(), 2);
+  }
+  EXPECT_EQ(preferred_domain(), -1);
+}
+
 TEST(NumaModel, SingleDomainDegeneratesGracefully) {
   NumaModel numa(1);
   EXPECT_EQ(numa.admissible_partitions(7), 7u);

@@ -3,14 +3,14 @@
 //   ggtool generate <rmat|powerlaw|road> <out.bin> [scale|n] [ef|deg] [seed]
 //   ggtool convert  <in(.txt|.bin)> <out(.txt|.bin)>
 //   ggtool stats    <graph>
-//   ggtool partition-report <graph> <partitions>
+//   ggtool partition-report <graph> <partitions> [domains]
 //   ggtool run      <BC|CC|PR|BFS|PRDelta|SPMV|BF|BP> <graph>
 //                   [--partitions N] [--layout auto|csc|coo|pcsr]
 //                   [--order original|degree|hilbert|child]
-//                   [--source V] [--threads T] [--no-atomics]
+//                   [--source V] [--threads T] [--domains D] [--no-atomics]
 //   ggtool serve    <graph> [--clients N] [--pool-cap N] [--queries N]
 //                   [--script FILE] [--threads-per-query T]
-//                   [--partitions N] [--order O]
+//                   [--partitions N] [--order O] [--domains D]
 //
 // serve executes a query script concurrently through a GraphService with
 // --clients worker threads.  Script lines are "ALGO [source]" (one query
@@ -19,7 +19,11 @@
 //
 // --source and all printed vertex ids are in the input file's (original) ID
 // space; --order selects the internal vertex relabeling applied by the
-// build pipeline, and the info output reports both ID spaces.
+// build pipeline, and the info output reports both ID spaces.  --domains
+// sets the NUMA-domain count of the build (default 4).  run's info output
+// prints the traversal's home-domain visit ratio and a domain map with
+// partitions / edges / arena MiB per domain; partition-report prints the
+// same map without the arena column (it never builds a graph).
 //
 // Graph files: SNAP text edge lists (.txt/.el) or this library's binary
 // format (.bin).  Exit code 0 on success, 1 on usage errors, 2 on runtime
@@ -49,6 +53,8 @@
 #include "partition/replication.hpp"
 #include "partition/storage_model.hpp"
 #include "service/graph_service.hpp"
+#include "sys/arena.hpp"
+#include "sys/numa.hpp"
 #include "sys/parallel.hpp"
 #include "sys/table.hpp"
 #include "sys/timer.hpp"
@@ -82,17 +88,64 @@ int usage() {
          "[seed]\n"
          "  ggtool convert <in> <out>\n"
          "  ggtool stats <graph>\n"
-         "  ggtool partition-report <graph> <partitions>\n"
+         "  ggtool partition-report <graph> <partitions> [domains]\n"
          "  ggtool run <algo> <graph> [--partitions N] [--layout L] "
-         "[--order O] [--source V] [--threads T] [--no-atomics]\n"
+         "[--order O] [--source V] [--threads T] [--domains D] "
+         "[--no-atomics]\n"
          "    O = original|degree|hilbert|child (vertex reordering)\n"
+         "    D = logical NUMA domains of the build (default 4)\n"
          "  ggtool serve <graph> [--clients N] [--pool-cap N] [--queries N] "
          "[--script FILE]\n"
          "               [--threads-per-query T] [--partitions N] "
-         "[--order O]\n"
+         "[--order O] [--domains D]\n"
          "    script lines: \"ALGO [source]\" with ALGO one of "
          "BFS|CC|PR|PRDelta|BF|BC|SPMV|BP\n";
   return 1;
+}
+
+/// Per-domain partition/edge map of a partitioning under a NumaModel — the
+/// placement the arenas realise (physically under GRIND_NUMA, logically
+/// otherwise).  With `with_arena_bytes` (a Graph was actually built in this
+/// process) an arena-accounting column shows the bytes each domain holds.
+void print_domain_map(const partition::Partitioning& parts,
+                      const NumaModel& numa, const std::string& title,
+                      bool with_arena_bytes) {
+  const part_t np = parts.num_partitions();
+  const int nd = numa.domains();
+  std::vector<std::size_t> parts_per(nd, 0);
+  std::vector<eid_t> edges_per(nd, 0);
+  eid_t total_edges = 0;
+  for (part_t p = 0; p < np; ++p) {
+    const int d = numa.domain_of_partition(p, np);
+    ++parts_per[static_cast<std::size_t>(d)];
+    edges_per[static_cast<std::size_t>(d)] += parts.edges_in(p);
+    total_edges += parts.edges_in(p);
+  }
+  Table t(title + ": " + std::to_string(nd) + " domains (" +
+          (NumaArenas::physical() ? "physical libnuma placement"
+                                  : "logical arenas") +
+          ")");
+  std::vector<std::string> header{"domain", "partitions", "edges",
+                                  "edge share"};
+  if (with_arena_bytes) header.push_back("arena MiB");
+  t.header(header);
+  for (int d = 0; d < nd; ++d) {
+    const double share =
+        total_edges > 0 ? static_cast<double>(edges_per[d]) /
+                              static_cast<double>(total_edges) * 100.0
+                        : 0.0;
+    std::vector<std::string> row{
+        Table::num(std::size_t{static_cast<std::size_t>(d)}),
+        Table::num(parts_per[static_cast<std::size_t>(d)]),
+        Table::num(std::size_t{edges_per[static_cast<std::size_t>(d)]}),
+        Table::num(share, 1) + " %"};
+    if (with_arena_bytes)
+      row.push_back(Table::num(
+          static_cast<double>(NumaArenas::instance().bytes_on(d)) / 1048576.0,
+          1));
+    t.row(row);
+  }
+  std::cout << t;
 }
 
 int cmd_generate(const std::vector<std::string>& args) {
@@ -145,10 +198,11 @@ int cmd_stats(const std::string& path) {
   return 0;
 }
 
-int cmd_partition_report(const std::string& path, part_t parts) {
+int cmd_partition_report(const std::string& path, part_t parts, int domains) {
   const auto el = load_any(path);
   const auto partitioning = partition::make_partitioning(el, parts);
   const double r = partition::replication_factor(el, partitioning);
+  const NumaModel numa(domains);
 
   partition::StorageInputs in;
   in.num_vertices = el.num_vertices();
@@ -170,6 +224,12 @@ int cmd_partition_report(const std::string& path, part_t parts) {
   t.row({"storage GG-v2 composite [MiB]",
          Table::num(partition::storage_graphgrind_v2(in) / 1048576.0, 1)});
   std::cout << t;
+
+  // Domain map: how the partitions (and their edges) spread over the NUMA
+  // domains the arenas would place them on.  No graph is built here, so
+  // there are no arena bytes to show.
+  print_domain_map(partitioning, numa, "domain map",
+                   /*with_arena_bytes=*/false);
   return 0;
 }
 
@@ -203,6 +263,8 @@ int cmd_run(const std::vector<std::string>& args) {
       source = static_cast<vid_t>(std::stoul(next()));
     } else if (a == "--threads") {
       set_num_threads(std::stoi(next()));
+    } else if (a == "--domains") {
+      bopts.numa_domains = std::stoi(next());
     } else if (a == "--no-atomics") {
       eopts.atomics = engine::AtomicsMode::kForceOff;
     } else {
@@ -265,6 +327,8 @@ int cmd_run(const std::vector<std::string>& args) {
             << algo << " completed in " << Table::num(run_timer.seconds(), 4)
             << " s with " << num_threads() << " threads\n"
             << eng.stats_report();
+  print_domain_map(g.partitioning_edges(), g.numa(), "domain map",
+                   /*with_arena_bytes=*/true);
   return 0;
 }
 
@@ -327,6 +391,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       const auto o = graph::parse_ordering(next());
       if (!o) return usage();
       bopts.ordering = *o;
+    } else if (a == "--domains") {
+      bopts.numa_domains = std::stoi(next());
     } else {
       return usage();
     }
@@ -438,9 +504,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "stats" && args.size() == 1) return cmd_stats(args[0]);
-    if (cmd == "partition-report" && args.size() == 2)
-      return cmd_partition_report(args[0],
-                                  static_cast<part_t>(std::stoul(args[1])));
+    if (cmd == "partition-report" && (args.size() == 2 || args.size() == 3))
+      return cmd_partition_report(
+          args[0], static_cast<part_t>(std::stoul(args[1])),
+          args.size() == 3 ? std::stoi(args[2]) : NumaModel::kDefaultDomains);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "serve") return cmd_serve(args);
     return usage();
