@@ -34,20 +34,20 @@ using namespace grind;
 namespace {
 
 /// The fixed mixed workload every configuration executes (identical request
-/// vector, so configurations are directly comparable).
+/// vector, so configurations are directly comparable).  Requests address
+/// the registry by paper code; source-taking membership comes from the
+/// registered capability flags.
 std::vector<service::QueryRequest> make_workload(const graph::Graph& g,
                                                  std::size_t queries) {
-  const service::Algorithm mix[] = {
-      service::Algorithm::kBfs, service::Algorithm::kPageRank,
-      service::Algorithm::kBellmanFord, service::Algorithm::kCc};
+  const auto& registry = algorithms::AlgorithmRegistry::instance();
+  const char* const mix[] = {"BFS", "PR", "BF", "CC"};
   std::vector<service::QueryRequest> reqs;
   reqs.reserve(queries);
   for (std::size_t q = 0; q < queries; ++q) {
-    service::QueryRequest req;
-    req.algorithm = mix[q % std::size(mix)];
-    if (req.algorithm == service::Algorithm::kBfs ||
-        req.algorithm == service::Algorithm::kBellmanFord)
-      req.source = static_cast<vid_t>((q * 131 + 7) % g.num_vertices());
+    service::QueryRequest req(mix[q % std::size(mix)]);
+    if (registry.at(req.algorithm).caps.needs_source)
+      req.params.set("source",
+                     static_cast<vid_t>((q * 131 + 7) % g.num_vertices()));
     reqs.push_back(std::move(req));
   }
   return reqs;

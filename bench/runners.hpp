@@ -1,59 +1,48 @@
-// Algorithm runners shared by the figure benches: run one Table-II workload
-// by its paper code ("BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP")
-// on any traversal engine and return wall-clock seconds.
+// Algorithm runners shared by the figure benches: run one registered
+// workload by its paper code on any traversal engine and return wall-clock
+// seconds.  Everything here is derived from the AlgorithmRegistry — the
+// code list is registration order (Table II first, extensions after), the
+// orientation class comes from the registered capability flags, and
+// dispatch goes through the descriptor's type-indexed runners, which cover
+// the primary engine::Engine and every Fig-9 baseline engine.  A newly
+// registered algorithm therefore shows up in bench_table2_algorithms,
+// bench_fig5_layouts, bench_fig9_comparison and bench_ablation_atomics
+// with no bench edits.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "algorithms/bc.hpp"
-#include "algorithms/belief_propagation.hpp"
-#include "algorithms/bellman_ford.hpp"
-#include "algorithms/bfs.hpp"
-#include "algorithms/cc.hpp"
-#include "algorithms/pagerank.hpp"
-#include "algorithms/pagerank_delta.hpp"
-#include "algorithms/spmv.hpp"
+#include "algorithms/registry.hpp"
 #include "sys/stats.hpp"
 #include "sys/timer.hpp"
 
 namespace grind::bench {
 
-/// Table II, in paper order.
+/// Registered paper codes in table order (Table II first, then extensions).
 inline const std::vector<std::string>& algorithm_codes() {
-  static const std::vector<std::string> kCodes = {
-      "BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP"};
+  static const std::vector<std::string> kCodes =
+      algorithms::AlgorithmRegistry::instance().names();
   return kCodes;
 }
 
 /// Whether the algorithm is vertex-oriented (Table II / §III-D).
 inline bool is_vertex_oriented(const std::string& code) {
-  return code == "BC" || code == "BFS" || code == "BF";
+  return algorithms::AlgorithmRegistry::instance()
+      .at(code)
+      .caps.vertex_oriented;
 }
 
-/// Execute one full run of `code` on `eng`; `source` seeds BFS/BC/BF.
+/// Execute one full run of `code` on `eng` (any registered engine type);
+/// `source` seeds the source-taking algorithms, everything else runs on its
+/// schema defaults.
 template <typename Eng>
 void run_algorithm(const std::string& code, Eng& eng, vid_t source) {
-  if (code == "BC") {
-    algorithms::betweenness_centrality(eng, source);
-  } else if (code == "CC") {
-    algorithms::connected_components(eng);
-  } else if (code == "PR") {
-    algorithms::pagerank(eng);
-  } else if (code == "BFS") {
-    algorithms::bfs(eng, source);
-  } else if (code == "PRDelta") {
-    algorithms::pagerank_delta(eng);
-  } else if (code == "SPMV") {
-    algorithms::spmv(eng);
-  } else if (code == "BF") {
-    algorithms::bellman_ford(eng, source);
-  } else if (code == "BP") {
-    algorithms::belief_propagation(eng);
-  } else {
-    throw std::invalid_argument("unknown algorithm code: " + code);
-  }
+  const algorithms::AlgorithmDesc& desc =
+      algorithms::AlgorithmRegistry::instance().at(code);
+  algorithms::Params params;
+  if (desc.caps.needs_source) params.set("source", source);
+  desc.run(eng, params);
 }
 
 /// Mean seconds over `rounds` timed runs (after one warmup).

@@ -1,5 +1,7 @@
 #include "algorithms/bellman_ford.hpp"
 
+#include "algorithms/ref/reference.hpp"
+#include "algorithms/registration.hpp"
 #include "engine/engine.hpp"
 
 namespace grind::algorithms {
@@ -13,5 +15,41 @@ BellmanFordResult bellman_ford(const graph::Graph& g,
   engine::Engine eng(g, opts, ws);
   return bellman_ford(eng, source);
 }
+
+namespace {
+
+AlgorithmDesc make_bf_desc() {
+  AlgorithmDesc d;
+  d.name = "BF";
+  d.title = "Bellman-Ford single-source shortest paths";
+  d.table_order = 6;
+  d.caps.needs_source = true;
+  d.caps.needs_weights = true;
+  d.caps.vertex_oriented = true;
+  d.schema = {spec_int("source",
+                       "start vertex (original ID); absent = default source",
+                       std::nullopt, 0,
+                       static_cast<double>(kInvalidVertex) - 1)};
+  d.summarize = [](const AnyResult& r) {
+    return "rounds: " + std::to_string(r.as<BellmanFordResult>().rounds);
+  };
+  // Dijkstra is the oracle; the suite keeps weights non-negative.
+  d.check = [](const CheckContext& cx, const Params& p, const AnyResult& r) {
+    detail::check_near_vec(
+        r.as<BellmanFordResult>().dist,
+        ref::sssp_dijkstra(*cx.el, static_cast<vid_t>(p.get_int("source"))),
+        1e-6, "BF dist");
+    return true;
+  };
+  return d;
+}
+
+const RegisterAlgorithm kRegisterBf(
+    make_bf_desc(), [](auto& eng, const Params& p) {
+      return AnyResult(
+          bellman_ford(eng, static_cast<vid_t>(p.get_int("source"))));
+    });
+
+}  // namespace
 
 }  // namespace grind::algorithms

@@ -1,0 +1,259 @@
+#include "algorithms/params.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace grind::algorithms {
+
+const char* param_type_name(ParamType t) {
+  switch (t) {
+    case ParamType::kInt: return "int";
+    case ParamType::kReal: return "real";
+    case ParamType::kVec: return "vec";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void throw_key(const std::string& key, const std::string& what) {
+  throw std::invalid_argument(key + ": " + what);
+}
+
+std::string value_type_name(const Params::Value& v) {
+  return param_type_name(static_cast<ParamType>(v.index()));
+}
+
+/// Strict full-token integer parse (no trailing junk, no floats).
+std::int64_t parse_int_token(const std::string& key, const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(tok, &pos);
+    if (pos != tok.size()) throw_key(key, "malformed int value '" + tok + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw_key(key, "malformed int value '" + tok + "'");
+  } catch (const std::out_of_range&) {
+    throw_key(key, "int value '" + tok + "' overflows");
+  }
+}
+
+double parse_real_token(const std::string& key, const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size())
+      throw_key(key, "malformed real value '" + tok + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw_key(key, "malformed real value '" + tok + "'");
+  } catch (const std::out_of_range&) {
+    throw_key(key, "real value '" + tok + "' out of representable range");
+  }
+}
+
+}  // namespace
+
+Params& Params::set_value(std::string key, Value v) {
+  for (auto& e : kv_) {
+    if (e.key == key) {
+      e.value = std::move(v);
+      return *this;
+    }
+  }
+  kv_.push_back(Entry{std::move(key), std::move(v)});
+  return *this;
+}
+
+const Params::Value* Params::find(std::string_view key) const {
+  for (const auto& e : kv_)
+    if (e.key == key) return &e.value;
+  return nullptr;
+}
+
+std::int64_t Params::get_int(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw_key(std::string(key), "parameter not set");
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  throw_key(std::string(key), "expected int, holds " + value_type_name(*v));
+}
+
+double Params::get_real(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw_key(std::string(key), "parameter not set");
+  if (const auto* r = std::get_if<double>(v)) return *r;
+  if (const auto* i = std::get_if<std::int64_t>(v))
+    return static_cast<double>(*i);
+  throw_key(std::string(key), "expected real, holds " + value_type_name(*v));
+}
+
+const std::vector<double>& Params::get_vec(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw_key(std::string(key), "parameter not set");
+  if (const auto* vec = std::get_if<std::vector<double>>(v)) return *vec;
+  throw_key(std::string(key), "expected vec, holds " + value_type_name(*v));
+}
+
+std::int64_t Params::get_int(std::string_view key, std::int64_t fallback) const {
+  return find(key) != nullptr ? get_int(key) : fallback;
+}
+
+double Params::get_real(std::string_view key, double fallback) const {
+  return find(key) != nullptr ? get_real(key) : fallback;
+}
+
+ParamSpec spec_int(std::string key, std::string doc,
+                   std::optional<std::int64_t> dflt, double min_value,
+                   double max_value) {
+  ParamSpec s;
+  s.key = std::move(key);
+  s.type = ParamType::kInt;
+  s.doc = std::move(doc);
+  if (dflt) s.default_value = Params::Value(*dflt);
+  s.min_value = min_value;
+  s.max_value = max_value;
+  return s;
+}
+
+ParamSpec spec_real(std::string key, std::string doc,
+                    std::optional<double> dflt, double min_value,
+                    double max_value) {
+  ParamSpec s;
+  s.key = std::move(key);
+  s.type = ParamType::kReal;
+  s.doc = std::move(doc);
+  if (dflt) s.default_value = Params::Value(*dflt);
+  s.min_value = min_value;
+  s.max_value = max_value;
+  return s;
+}
+
+ParamSpec spec_vec(std::string key, std::string doc) {
+  ParamSpec s;
+  s.key = std::move(key);
+  s.type = ParamType::kVec;
+  s.doc = std::move(doc);
+  return s;
+}
+
+const ParamSpec* ParamSchema::find(std::string_view key) const {
+  for (const auto& s : specs_)
+    if (s.key == key) return &s;
+  return nullptr;
+}
+
+Params ParamSchema::resolve(const Params& p) const {
+  Params out;
+  for (const auto& e : p.entries()) {
+    const ParamSpec* spec = find(e.key);
+    if (spec == nullptr) throw_key(e.key, "unknown parameter");
+    switch (spec->type) {
+      case ParamType::kInt: {
+        const auto* i = std::get_if<std::int64_t>(&e.value);
+        if (i == nullptr)
+          throw_key(e.key, "expected int, got " + value_type_name(e.value));
+        const double v = static_cast<double>(*i);
+        if (v < spec->min_value || v > spec->max_value)
+          throw std::out_of_range(
+              e.key + "=" + std::to_string(*i) + " out of range [" +
+              std::to_string(static_cast<std::int64_t>(spec->min_value)) +
+              ", " +
+              std::to_string(static_cast<std::int64_t>(spec->max_value)) +
+              "]");
+        out.set(e.key, *i);
+        break;
+      }
+      case ParamType::kReal: {
+        double v = 0.0;
+        if (const auto* r = std::get_if<double>(&e.value)) {
+          v = *r;
+        } else if (const auto* i = std::get_if<std::int64_t>(&e.value)) {
+          v = static_cast<double>(*i);  // widening int → real is always safe
+        } else {
+          throw_key(e.key, "expected real, got " + value_type_name(e.value));
+        }
+        if (std::isnan(v) || v < spec->min_value || v > spec->max_value) {
+          std::ostringstream os;
+          os << e.key << "=" << v << " out of range [" << spec->min_value
+             << ", " << spec->max_value << "]";
+          throw std::out_of_range(os.str());
+        }
+        out.set(e.key, v);
+        break;
+      }
+      case ParamType::kVec: {
+        const auto* vec = std::get_if<std::vector<double>>(&e.value);
+        if (vec == nullptr)
+          throw_key(e.key, "expected vec, got " + value_type_name(e.value));
+        out.set(e.key, *vec);
+        break;
+      }
+    }
+  }
+  for (const auto& spec : specs_)
+    if (spec.default_value && !out.has(spec.key))
+      switch (spec.type) {
+        case ParamType::kInt:
+          out.set(spec.key, std::get<std::int64_t>(*spec.default_value));
+          break;
+        case ParamType::kReal:
+          out.set(spec.key, std::get<double>(*spec.default_value));
+          break;
+        case ParamType::kVec:
+          out.set(spec.key,
+                  std::get<std::vector<double>>(*spec.default_value));
+          break;
+      }
+  return out;
+}
+
+void ParamSchema::parse_kv(std::string_view kv, Params* out) const {
+  const auto eq = kv.find('=');
+  if (eq == std::string_view::npos || eq == 0)
+    throw std::invalid_argument("expected key=value, got '" + std::string(kv) +
+                                "'");
+  const std::string key(kv.substr(0, eq));
+  const std::string val(kv.substr(eq + 1));
+  const ParamSpec* spec = find(key);
+  if (spec == nullptr) throw_key(key, "unknown parameter");
+  switch (spec->type) {
+    case ParamType::kInt:
+      out->set(key, parse_int_token(key, val));
+      break;
+    case ParamType::kReal:
+      out->set(key, parse_real_token(key, val));
+      break;
+    case ParamType::kVec: {
+      std::vector<double> vec;
+      std::string item;
+      std::istringstream is(val);
+      while (std::getline(is, item, ','))
+        vec.push_back(parse_real_token(key, item));
+      out->set(key, std::move(vec));
+      break;
+    }
+  }
+}
+
+std::string ParamSchema::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& s : specs_) {
+    if (!first) os << ", ";
+    first = false;
+    os << s.key << "=";
+    if (!s.default_value) {
+      os << "?";
+    } else if (const auto* i = std::get_if<std::int64_t>(&*s.default_value)) {
+      os << *i;
+    } else if (const auto* r = std::get_if<double>(&*s.default_value)) {
+      os << *r;
+    } else {
+      os << "[]";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace grind::algorithms

@@ -1,0 +1,140 @@
+// Typed, string-keyed algorithm parameters with a declared schema.
+//
+// Every registered algorithm (registry.hpp) publishes a ParamSchema: the
+// parameter keys it understands, their types, defaults, numeric ranges and
+// one-line docs.  Callers build a Params bag — programmatically (service
+// queries, benches, the fuzzer) or by parsing "key=value" strings (ggtool's
+// --param flag and serve-script lines) — and the schema resolves it:
+// unknown keys, wrong types and out-of-range values are rejected with a
+// message naming the offending key, and absent keys pick up their declared
+// defaults.  Algorithm run hooks therefore read a fully-populated,
+// validated bag and never re-check anything.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace grind::algorithms {
+
+/// Scalar/vector parameter value kinds understood by the schema layer.
+enum class ParamType { kInt, kReal, kVec };
+
+[[nodiscard]] const char* param_type_name(ParamType t);
+
+/// An ordered bag of key → typed value.  Order is preserved so error
+/// messages and listings are deterministic; lookup is linear (bags hold a
+/// handful of entries).
+class Params {
+ public:
+  using Value = std::variant<std::int64_t, double, std::vector<double>>;
+
+  Params() = default;
+
+  Params& set(std::string key, std::int64_t v) {
+    return set_value(std::move(key), Value(v));
+  }
+  Params& set(std::string key, int v) {
+    return set(std::move(key), static_cast<std::int64_t>(v));
+  }
+  Params& set(std::string key, unsigned v) {
+    return set(std::move(key), static_cast<std::int64_t>(v));
+  }
+  Params& set(std::string key, unsigned long v) {
+    return set(std::move(key), static_cast<std::int64_t>(v));
+  }
+  Params& set(std::string key, unsigned long long v) {
+    return set(std::move(key), static_cast<std::int64_t>(v));
+  }
+  Params& set(std::string key, double v) {
+    return set_value(std::move(key), Value(v));
+  }
+  Params& set(std::string key, std::vector<double> v) {
+    return set_value(std::move(key), Value(std::move(v)));
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return kv_.size(); }
+  [[nodiscard]] bool empty() const { return kv_.empty(); }
+
+  /// Typed getters; throw std::invalid_argument naming the key when the key
+  /// is absent or holds a different type.  get_real additionally accepts an
+  /// integer value (widening is always safe).
+  [[nodiscard]] std::int64_t get_int(std::string_view key) const;
+  [[nodiscard]] double get_real(std::string_view key) const;
+  [[nodiscard]] const std::vector<double>& get_vec(std::string_view key) const;
+
+  /// Getters with a fallback for absent keys (type mismatches still throw).
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_real(std::string_view key, double fallback) const;
+
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return kv_; }
+
+ private:
+  Params& set_value(std::string key, Value v);
+
+  std::vector<Entry> kv_;
+};
+
+/// One declared parameter: key, type, doc line, optional default, and an
+/// inclusive numeric range (ignored for kVec).
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kReal;
+  std::string doc;
+  std::optional<Params::Value> default_value;
+  double min_value = -1e308;
+  double max_value = 1e308;
+};
+
+[[nodiscard]] ParamSpec spec_int(std::string key, std::string doc,
+                                 std::optional<std::int64_t> dflt,
+                                 double min_value, double max_value);
+[[nodiscard]] ParamSpec spec_real(std::string key, std::string doc,
+                                  std::optional<double> dflt, double min_value,
+                                  double max_value);
+[[nodiscard]] ParamSpec spec_vec(std::string key, std::string doc);
+
+/// The declared parameter set of one algorithm.
+class ParamSchema {
+ public:
+  ParamSchema() = default;
+  ParamSchema(std::initializer_list<ParamSpec> specs) : specs_(specs) {}
+
+  [[nodiscard]] const ParamSpec* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Validate `p` against the schema and fill defaults: every key must be
+  /// declared, hold the declared type, and (for numerics) sit inside the
+  /// declared range; declared keys absent from `p` are added with their
+  /// defaults (keys without a default stay absent).  Throws
+  /// std::invalid_argument / std::out_of_range naming the offending key.
+  [[nodiscard]] Params resolve(const Params& p) const;
+
+  /// Parse one "key=value" token using the declared type of `key` and set
+  /// it in `out` (int: strict integer; real: strict float; vec: comma-
+  /// separated reals).  Throws std::invalid_argument naming the key on
+  /// unknown keys, malformed tokens, or unparsable values.
+  void parse_kv(std::string_view kv, Params* out) const;
+
+  /// "key=default" summary of the schema, for listings ("iterations=10,
+  /// damping=0.85"); keys without a default render as "key=?".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace grind::algorithms

@@ -1,0 +1,77 @@
+#include "algorithms/registry.hpp"
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+
+namespace grind::algorithms {
+
+Params AlgorithmDesc::resolve(const Params& params,
+                              const graph::Graph& g) const {
+  Params r = schema.resolve(params);
+  if (caps.needs_source) {
+    const vid_t n = g.num_vertices();
+    if (!r.has("source")) {
+      // The schema leaves "source" default-less so "absent" is observable:
+      // the service substitutes its eagerly-resolved default, every other
+      // surface falls back to the conventional max-out-degree start.
+      r.set("source", n > 0 ? g.max_out_degree_source() : vid_t{0});
+    } else if (n > 0) {
+      const std::int64_t s = r.get_int("source");
+      if (s < 0 || s >= static_cast<std::int64_t>(n))
+        throw std::out_of_range(
+            name + ": source " + std::to_string(s) +
+            " out of range (graph has " + std::to_string(n) + " vertices)");
+    }
+  }
+  return r;
+}
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry reg;
+  return reg;
+}
+
+void AlgorithmRegistry::add(AlgorithmDesc desc) {
+  if (desc.name.empty())
+    throw std::logic_error("AlgorithmRegistry: empty algorithm name");
+  for (const auto& d : descs_)
+    if (d.name == desc.name)
+      throw std::logic_error("AlgorithmRegistry: duplicate algorithm '" +
+                             desc.name + "'");
+  descs_.push_back(std::move(desc));
+}
+
+const AlgorithmDesc* AlgorithmRegistry::find(std::string_view name) const {
+  for (const auto& d : descs_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+const AlgorithmDesc& AlgorithmRegistry::at(std::string_view name) const {
+  const AlgorithmDesc* d = find(name);
+  if (d == nullptr)
+    throw std::invalid_argument("unknown algorithm code: " + std::string(name));
+  return *d;
+}
+
+std::vector<const AlgorithmDesc*> AlgorithmRegistry::entries() const {
+  std::vector<const AlgorithmDesc*> out;
+  out.reserve(descs_.size());
+  for (const auto& d : descs_) out.push_back(&d);
+  std::sort(out.begin(), out.end(),
+            [](const AlgorithmDesc* a, const AlgorithmDesc* b) {
+              if (a->table_order != b->table_order)
+                return a->table_order < b->table_order;
+              return a->name < b->name;  // deterministic tiebreak
+            });
+  return out;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  for (const AlgorithmDesc* d : entries()) out.push_back(d->name);
+  return out;
+}
+
+}  // namespace grind::algorithms

@@ -6,36 +6,46 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/engine.hpp"
 #include "sys/parallel.hpp"
 #include "sys/timer.hpp"
 
 namespace grind::service {
 
+namespace {
+
+/// Enum-value ↔ paper-code correspondence of the deprecated compatibility
+/// enum.  The registry owns the codes; this table only fixes which code
+/// each legacy enum value meant.
+constexpr const char* kLegacyCodes[] = {
+    "BFS", "CC", "PR", "PRDelta", "BF", "BC", "SPMV", "BP",
+};
+
+}  // namespace
+
+// The shims implement the deprecated surface; silence the self-referential
+// deprecation warnings inside their own definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 const char* algorithm_name(Algorithm a) {
-  switch (a) {
-    case Algorithm::kBfs: return "BFS";
-    case Algorithm::kCc: return "CC";
-    case Algorithm::kPageRank: return "PR";
-    case Algorithm::kPageRankDelta: return "PRDelta";
-    case Algorithm::kBellmanFord: return "BF";
-    case Algorithm::kBc: return "BC";
-    case Algorithm::kSpmv: return "SPMV";
-    case Algorithm::kBeliefPropagation: return "BP";
-  }
-  return "?";
+  const auto i = static_cast<std::size_t>(a);
+  return i < std::size(kLegacyCodes) ? kLegacyCodes[i] : "?";
 }
 
 std::optional<Algorithm> parse_algorithm(std::string_view code) {
-  if (code == "BFS") return Algorithm::kBfs;
-  if (code == "CC") return Algorithm::kCc;
-  if (code == "PR") return Algorithm::kPageRank;
-  if (code == "PRDelta") return Algorithm::kPageRankDelta;
-  if (code == "BF") return Algorithm::kBellmanFord;
-  if (code == "BC") return Algorithm::kBc;
-  if (code == "SPMV") return Algorithm::kSpmv;
-  if (code == "BP") return Algorithm::kBeliefPropagation;
+  // Only codes the registry actually knows parse, so the registry stays the
+  // single source of truth even through the legacy surface.
+  if (algorithms::AlgorithmRegistry::instance().find(code) == nullptr)
+    return std::nullopt;
+  for (std::size_t i = 0; i < std::size(kLegacyCodes); ++i)
+    if (code == kLegacyCodes[i]) return static_cast<Algorithm>(i);
   return std::nullopt;
 }
+
+QueryRequest::QueryRequest(Algorithm a) : algorithm(algorithm_name(a)) {}
+
+#pragma GCC diagnostic pop
 
 GraphService::GraphService(graph::Graph g, ServiceConfig cfg)
     : graph_(std::move(g)),
@@ -133,7 +143,7 @@ std::vector<QueryResult> GraphService::run_batch(
 
   // Group request indices by algorithm, keeping request order inside each
   // group so results land back at their original positions.
-  std::map<Algorithm, std::vector<std::size_t>> groups;
+  std::map<std::string, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < reqs.size(); ++i)
     groups[reqs[i].algorithm].push_back(i);
 
@@ -184,53 +194,33 @@ QueryResult GraphService::execute(const QueryRequest& req,
                                   engine::TraversalWorkspace& ws) const {
   QueryResult r;
   r.algorithm = req.algorithm;
-  const vid_t source =
-      req.source == kInvalidVertex ? default_source_ : req.source;
-  const bool needs_source = req.algorithm == Algorithm::kBfs ||
-                            req.algorithm == Algorithm::kBellmanFord ||
-                            req.algorithm == Algorithm::kBc;
-  if (needs_source && graph_.num_vertices() > 0 &&
-      source >= graph_.num_vertices()) {
-    r.error = "source out of range";
+  // Registry dispatch: capability flags (needs_source), the parameter
+  // schema, and the runner all come from the registered descriptor, so an
+  // algorithm registered anywhere in the library is servable here with no
+  // edits.  The lookup is one scan of a ~10-entry table per query; the
+  // per-iteration traversal hot path never touches the registry.
+  const algorithms::AlgorithmDesc* desc =
+      algorithms::AlgorithmRegistry::instance().find(req.algorithm);
+  if (desc == nullptr) {
+    r.error = "unknown algorithm: " + req.algorithm;
     return r;
   }
   Timer timer;
   try {
-    switch (req.algorithm) {
-      case Algorithm::kBfs:
-        r.value = algorithms::bfs(graph_, ws, source, cfg_.engine);
-        break;
-      case Algorithm::kCc:
-        r.value = algorithms::connected_components(graph_, ws, cfg_.engine);
-        break;
-      case Algorithm::kPageRank:
-        r.value = algorithms::pagerank(graph_, ws, req.pagerank, cfg_.engine);
-        break;
-      case Algorithm::kPageRankDelta:
-        r.value = algorithms::pagerank_delta(graph_, ws, req.pagerank_delta,
-                                             cfg_.engine);
-        break;
-      case Algorithm::kBellmanFord:
-        r.value = algorithms::bellman_ford(graph_, ws, source, cfg_.engine);
-        break;
-      case Algorithm::kBc:
-        r.value =
-            algorithms::betweenness_centrality(graph_, ws, source, cfg_.engine);
-        break;
-      case Algorithm::kSpmv:
-        r.value = algorithms::spmv(graph_, ws, req.x, cfg_.engine);
-        break;
-      case Algorithm::kBeliefPropagation:
-        r.value = algorithms::belief_propagation(graph_, ws,
-                                                 req.belief_propagation,
-                                                 cfg_.engine);
-        break;
-    }
+    algorithms::Params params = req.params;
+    if (desc->caps.needs_source && !params.has("source") &&
+        default_source_ != kInvalidVertex)
+      params.set("source", default_source_);
+    engine::Engine eng(graph_, cfg_.engine, ws);
+    // run() resolves the schema first: unknown keys, wrong types and
+    // out-of-range values (including the source, for *every* source-taking
+    // algorithm) throw here and surface as r.error below.
+    r.value = desc->run(eng, params);
   } catch (const std::exception& e) {
-    r.value = std::monostate{};
+    r.value = algorithms::AnyResult{};
     r.error = e.what();
   } catch (...) {
-    r.value = std::monostate{};
+    r.value = algorithms::AnyResult{};
     r.error = "unknown error";
   }
   r.seconds = timer.seconds();

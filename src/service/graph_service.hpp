@@ -8,6 +8,13 @@
 //     cap) so concurrent queries never share mutable scratch,
 //   * a fixed set of worker threads draining a submission queue.
 //
+// Queries address algorithms through the AlgorithmRegistry
+// (algorithms/registry.hpp): a QueryRequest is just {algorithm code,
+// Params}, so every registered workload — including ones registered after
+// this file was written — is servable with no dispatch edits here.
+// Validation (unknown algorithm, parameter schema, source range) is derived
+// from the registered descriptor, never from hand-kept lists.
+//
 // Thread-safety contract (docs/SERVICE.md):
 //   * the Graph is strictly read-only after construction — every layout
 //     accessor is const, and all lazily-computable state (partition chunk
@@ -43,17 +50,10 @@
 #include <string>
 #include <string_view>
 #include <thread>
-#include <variant>
 #include <vector>
 
-#include "algorithms/bc.hpp"
-#include "algorithms/belief_propagation.hpp"
-#include "algorithms/bellman_ford.hpp"
-#include "algorithms/bfs.hpp"
-#include "algorithms/cc.hpp"
-#include "algorithms/pagerank.hpp"
-#include "algorithms/pagerank_delta.hpp"
-#include "algorithms/spmv.hpp"
+#include "algorithms/params.hpp"
+#include "algorithms/registry.hpp"
 #include "engine/options.hpp"
 #include "graph/graph.hpp"
 #include "service/workspace_pool.hpp"
@@ -61,7 +61,10 @@
 
 namespace grind::service {
 
-/// The eight Table-II workloads, addressable as service queries.
+/// DEPRECATED compatibility surface (one release): the eight Table-II
+/// workloads as a closed enum, from before the AlgorithmRegistry existed.
+/// New code addresses algorithms by paper code string; the registry is the
+/// single source of truth for names (`AlgorithmRegistry::instance()`).
 enum class Algorithm : std::uint8_t {
   kBfs,
   kCc,
@@ -73,37 +76,43 @@ enum class Algorithm : std::uint8_t {
   kBeliefPropagation,
 };
 
-/// Paper code for the algorithm ("BFS", "CC", "PR", "PRDelta", "BF", "BC",
-/// "SPMV", "BP").
-[[nodiscard]] const char* algorithm_name(Algorithm a);
+/// DEPRECATED: paper code for the enum value; forwards to the registry
+/// entry's name.  Use QueryRequest::algorithm / AlgorithmDesc::name.
+[[deprecated("address algorithms by paper code string via the "
+             "AlgorithmRegistry")]] [[nodiscard]] const char*
+algorithm_name(Algorithm a);
 
-/// Inverse of algorithm_name (std::nullopt on unknown codes).
-[[nodiscard]] std::optional<Algorithm> parse_algorithm(std::string_view code);
+/// DEPRECATED: inverse of algorithm_name (std::nullopt on unknown codes).
+/// Use AlgorithmRegistry::instance().find(code).
+[[deprecated("address algorithms by paper code string via the "
+             "AlgorithmRegistry")]] [[nodiscard]] std::optional<Algorithm>
+parse_algorithm(std::string_view code);
 
-/// One query.  `source` (BFS / BF / BC) and `x` indices are in original-ID
-/// space, like every user-facing boundary; kInvalidVertex means "use the
-/// service's default source" (the max-out-degree vertex, resolved once at
-/// service construction).
+/// One query: an algorithm paper code (registry lookup key) plus its typed
+/// parameters.  Source-taking algorithms read the "source" parameter
+/// (original-ID space, like every user-facing boundary); when it is absent
+/// the service substitutes its default source (the max-out-degree vertex,
+/// resolved once at service construction).  Parameter validation — unknown
+/// keys, wrong types, out-of-range values and sources — happens against the
+/// registered schema when the query executes, and failures are reported in
+/// QueryResult::error.
 struct QueryRequest {
-  Algorithm algorithm = Algorithm::kPageRank;
-  vid_t source = kInvalidVertex;
-  algorithms::PageRankOptions pagerank{};
-  algorithms::PageRankDeltaOptions pagerank_delta{};
-  algorithms::BeliefPropagationOptions belief_propagation{};
-  std::vector<double> x;  ///< SPMV input; empty = all-ones
+  std::string algorithm = "PR";
+  algorithms::Params params;
+
+  QueryRequest() = default;
+  explicit QueryRequest(std::string algo, algorithms::Params p = {})
+      : algorithm(std::move(algo)), params(std::move(p)) {}
+  /// DEPRECATED enum shim (one release).
+  [[deprecated("construct with the paper code string")]] explicit QueryRequest(
+      Algorithm a);
 };
 
-using QueryValue =
-    std::variant<std::monostate, algorithms::BfsResult, algorithms::CcResult,
-                 algorithms::PageRankResult, algorithms::PageRankDeltaResult,
-                 algorithms::BellmanFordResult, algorithms::BcResult,
-                 algorithms::SpmvResult, algorithms::BeliefPropagationResult>;
-
 struct QueryResult {
-  Algorithm algorithm = Algorithm::kPageRank;
-  QueryValue value;        ///< monostate when the query failed
-  double seconds = 0.0;    ///< execution wall-clock (excludes queueing)
-  std::string error;       ///< non-empty ⇒ the query threw
+  std::string algorithm;          ///< paper code of the executed algorithm
+  algorithms::AnyResult value;    ///< empty when the query failed
+  double seconds = 0.0;           ///< execution wall-clock (excludes queueing)
+  std::string error;              ///< non-empty ⇒ the query failed
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
@@ -162,8 +171,8 @@ class GraphService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const WorkspacePool& pool() const { return pool_; }
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
-  /// The source used when QueryRequest::source is kInvalidVertex
-  /// (original-ID space).
+  /// The source used by source-taking algorithms when the request has no
+  /// "source" parameter (original-ID space).
   [[nodiscard]] vid_t default_source() const { return default_source_; }
 
  private:

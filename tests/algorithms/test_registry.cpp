@@ -1,0 +1,216 @@
+// AlgorithmRegistry contract tests: entry round-trips, capability flags,
+// parameter-schema validation (unknown key / wrong type / out-of-range all
+// rejected with a message naming the key), key=value parsing, and the
+// graph-aware source resolution shared by every surface.
+#include "algorithms/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "service/graph_service.hpp"
+
+namespace grind::algorithms {
+namespace {
+
+const AlgorithmRegistry& registry() { return AlgorithmRegistry::instance(); }
+
+TEST(Registry, AllTableTwoWorkloadsPlusKcoreAreRegisteredInPaperOrder) {
+  const std::vector<std::string> want = {"BC", "CC",   "PR", "BFS", "PRDelta",
+                                         "SPMV", "BF", "BP", "KCore"};
+  EXPECT_EQ(registry().names(), want);
+  EXPECT_GE(registry().size(), 9u);
+}
+
+TEST(Registry, NameLookupRoundTripsForEveryEntry) {
+  for (const AlgorithmDesc* d : registry().entries()) {
+    const AlgorithmDesc* found = registry().find(d->name);
+    ASSERT_NE(found, nullptr) << d->name;
+    EXPECT_EQ(found, d) << d->name;
+    EXPECT_EQ(registry().at(d->name).name, d->name);
+  }
+  EXPECT_EQ(registry().find("NoSuchAlgorithm"), nullptr);
+  EXPECT_THROW((void)registry().at("NoSuchAlgorithm"), std::invalid_argument);
+}
+
+TEST(Registry, LegacyEnumShimsRoundTripThroughTheRegistry) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  using service::Algorithm;
+  for (const Algorithm a :
+       {Algorithm::kBfs, Algorithm::kCc, Algorithm::kPageRank,
+        Algorithm::kPageRankDelta, Algorithm::kBellmanFord, Algorithm::kBc,
+        Algorithm::kSpmv, Algorithm::kBeliefPropagation}) {
+    const char* name = service::algorithm_name(a);
+    // The shim's names are registry names (single source of truth) …
+    EXPECT_NE(registry().find(name), nullptr) << name;
+    // … and parse(name(a)) == a for every enum value.
+    EXPECT_EQ(service::parse_algorithm(name), a) << name;
+  }
+  EXPECT_EQ(service::parse_algorithm("bogus"), std::nullopt);
+#pragma GCC diagnostic pop
+}
+
+TEST(Registry, CapabilityFlagsMatchTableTwo) {
+  auto caps = [&](const char* name) { return registry().at(name).caps; };
+  for (const char* source_taking : {"BFS", "BF", "BC"}) {
+    EXPECT_TRUE(caps(source_taking).needs_source) << source_taking;
+    EXPECT_TRUE(caps(source_taking).vertex_oriented) << source_taking;
+  }
+  for (const char* sourceless : {"CC", "PR", "PRDelta", "SPMV", "BP"}) {
+    EXPECT_FALSE(caps(sourceless).needs_source) << sourceless;
+  }
+  for (const char* weighted : {"BF", "SPMV", "BP"})
+    EXPECT_TRUE(caps(weighted).needs_weights) << weighted;
+  EXPECT_TRUE(caps("SPMV").takes_vector_input);
+  EXPECT_FALSE(caps("PR").takes_vector_input);
+  for (const AlgorithmDesc* d : registry().entries())
+    EXPECT_TRUE(d->caps.deterministic) << d->name;
+}
+
+TEST(Registry, EveryEntryHasRunnersForTheRegisteredEngineTypes) {
+  for (const AlgorithmDesc* d : registry().entries()) {
+    EXPECT_TRUE(d->has_runner_for(std::type_index(typeid(engine::Engine))))
+        << d->name;
+    EXPECT_TRUE(d->summarize != nullptr) << d->name;
+    EXPECT_TRUE(d->check != nullptr) << d->name;
+  }
+}
+
+TEST(RegistryParams, ResolveFillsDeclaredDefaults) {
+  const Params resolved = registry().at("PR").schema.resolve(Params{});
+  EXPECT_EQ(resolved.get_int("iterations"), 10);
+  EXPECT_DOUBLE_EQ(resolved.get_real("damping"), 0.85);
+}
+
+TEST(RegistryParams, UnknownKeyIsRejectedNamingTheKey) {
+  Params p;
+  p.set("dampign", 0.9);
+  try {
+    (void)registry().at("PR").schema.resolve(p);
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dampign"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RegistryParams, WrongTypeIsRejectedNamingTheKey) {
+  Params p;
+  p.set("iterations", std::vector<double>{1.0, 2.0});
+  try {
+    (void)registry().at("PR").schema.resolve(p);
+    FAIL() << "wrong type accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("iterations"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected int"), std::string::npos) << what;
+  }
+}
+
+TEST(RegistryParams, OutOfRangeValueIsRejectedNamingTheKey) {
+  Params p;
+  p.set("damping", 1.5);
+  try {
+    (void)registry().at("PR").schema.resolve(p);
+    FAIL() << "out-of-range value accepted";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("damping"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(RegistryParams, IntWidensToRealButNotTheReverse) {
+  Params p;
+  p.set("damping", 0);  // int literal for a real parameter: fine
+  const Params resolved = registry().at("PR").schema.resolve(p);
+  EXPECT_DOUBLE_EQ(resolved.get_real("damping"), 0.0);
+
+  Params q;
+  q.set("iterations", 2.5);  // real for an int parameter: rejected
+  EXPECT_THROW((void)registry().at("PR").schema.resolve(q),
+               std::invalid_argument);
+}
+
+TEST(RegistryParams, KeyValueParsingFollowsTheSchemaTypes) {
+  const ParamSchema& pr = registry().at("PR").schema;
+  Params p;
+  pr.parse_kv("iterations=5", &p);
+  pr.parse_kv("damping=0.5", &p);
+  EXPECT_EQ(p.get_int("iterations"), 5);
+  EXPECT_DOUBLE_EQ(p.get_real("damping"), 0.5);
+
+  EXPECT_THROW(pr.parse_kv("iterations=abc", &p), std::invalid_argument);
+  EXPECT_THROW(pr.parse_kv("bogus=1", &p), std::invalid_argument);
+  EXPECT_THROW(pr.parse_kv("noequals", &p), std::invalid_argument);
+
+  const ParamSchema& spmv = registry().at("SPMV").schema;
+  Params v;
+  spmv.parse_kv("x=1,2.5,3", &v);
+  EXPECT_EQ(v.get_vec("x"), (std::vector<double>{1.0, 2.5, 3.0}));
+}
+
+TEST(RegistryParams, TypedGettersRejectMismatchesNamingTheKey) {
+  Params p;
+  p.set("x", std::vector<double>{1.0});
+  try {
+    (void)p.get_int("x");
+    FAIL() << "get_int on a vec value succeeded";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("x"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)p.get_vec("absent"), std::invalid_argument);
+  EXPECT_EQ(p.get_int("absent", 7), 7);
+}
+
+TEST(RegistrySource, AbsentSourceResolvesToMaxOutDegreeVertex) {
+  const graph::Graph g = graph::Graph::build(graph::star(8));
+  for (const AlgorithmDesc* d : registry().entries()) {
+    if (!d->caps.needs_source) continue;
+    const Params resolved = d->resolve(Params{}, g);
+    EXPECT_EQ(resolved.get_int("source"),
+              static_cast<std::int64_t>(g.max_out_degree_source()))
+        << d->name;
+  }
+}
+
+TEST(RegistrySource, OutOfRangeSourceThrowsForEverySourceTakingAlgorithm) {
+  const graph::Graph g = graph::Graph::build(graph::star(8));
+  for (const AlgorithmDesc* d : registry().entries()) {
+    if (!d->caps.needs_source) continue;
+    Params p;
+    p.set("source", g.num_vertices() + 3);
+    try {
+      (void)d->resolve(p, g);
+      FAIL() << d->name << " accepted an out-of-range source";
+    } catch (const std::out_of_range& e) {
+      EXPECT_NE(std::string(e.what()).find("source"), std::string::npos)
+          << d->name << ": " << e.what();
+    }
+  }
+}
+
+TEST(RegistryRun, RunResolvesParamsAndDispatchesByEngineType) {
+  const graph::Graph g = graph::Graph::build(graph::cycle(6));
+  engine::Engine eng(g);
+  const AlgorithmDesc& pr = registry().at("PR");
+  Params p;
+  p.set("iterations", 3);
+  const AnyResult r = pr.run(eng, p);
+  EXPECT_EQ(r.as<PageRankResult>().iterations, 3);
+  EXPECT_FALSE(pr.summarize(r).empty());
+
+  // Wrong requested type is a clean error, not UB.
+  EXPECT_THROW((void)r.as<BfsResult>(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace grind::algorithms

@@ -1,8 +1,14 @@
-// Differential fuzzing: random graphs × random build knobs, every algorithm
-// checked against the engine-independent reference oracles in original-ID
-// space.  Each case is driven by one seed; on failure the SCOPED_TRACE line
-// prints the full reproducer configuration, so a failing case can be
-// replayed by pinning kBaseSeed + the iteration number.
+// Differential fuzzing: random graphs × random build knobs, every
+// *registered* algorithm checked against its descriptor's oracle hook in
+// original-ID space.  The case loop iterates the AlgorithmRegistry, so an
+// algorithm is fuzzed the moment it self-registers — there is no hand-kept
+// list here — and the final assertion pins that every registry entry was
+// actually exercised (count > 0), so an algorithm silently dropping out of
+// the sweep fails the suite.
+//
+// Each case is driven by one seed; on failure the SCOPED_TRACE line prints
+// the full reproducer configuration, so a failing case can be replayed by
+// pinning kBaseSeed + the iteration number.
 //
 // Graph families deliberately include the degenerate shapes the layouts
 // must survive: stars (one giant partition row), chains (diameter |V|),
@@ -11,21 +17,16 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "algorithms/bc.hpp"
-#include "algorithms/belief_propagation.hpp"
-#include "algorithms/bellman_ford.hpp"
 #include "algorithms/bfs.hpp"
-#include "algorithms/cc.hpp"
 #include "algorithms/pagerank.hpp"
-#include "algorithms/pagerank_delta.hpp"
-#include "algorithms/ref/reference.hpp"
-#include "algorithms/spmv.hpp"
-#include "common/expect_vectors.hpp"
+#include "algorithms/registry.hpp"
+#include "engine/engine.hpp"
 #include "engine/workspace.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -134,7 +135,12 @@ Knobs make_knobs(std::mt19937_64& rng) {
 
 std::string layout_str(engine::Layout l) { return engine::to_string(l); }
 
-TEST(DifferentialFuzz, AllAlgorithmsMatchReferenceAcrossRandomConfigs) {
+TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
+  const auto entries = AlgorithmRegistry::instance().entries();
+  ASSERT_GE(entries.size(), 9u);  // eight Table-II workloads + k-core
+  std::map<std::string, int> exercised;
+  std::map<std::string, int> checked;
+
   for (int iter = 0; iter < kCases; ++iter) {
     const std::uint64_t seed = kBaseSeed + static_cast<std::uint64_t>(iter);
     std::mt19937_64 rng(seed);
@@ -172,81 +178,46 @@ TEST(DifferentialFuzz, AllAlgorithmsMatchReferenceAcrossRandomConfigs) {
     const vid_t n = g.num_vertices();
     const vid_t source = static_cast<vid_t>(rng() % n);
 
-    // BFS levels are exact.
-    {
-      const auto got = bfs(g, ws, source, eopts);
-      const auto want = ref::bfs_levels(el, source);
-      ASSERT_EQ(got.level.size(), want.size());
-      for (std::size_t v = 0; v < want.size(); ++v)
-        ASSERT_EQ(got.level[v], want[v]) << "BFS level at v=" << v;
-    }
+    CheckContext cx;
+    cx.el = &el;
+    cx.identity_ordering = k.ordering == graph::VertexOrdering::kOriginal;
 
-    // Bellman-Ford distances against Dijkstra (weights are non-negative).
-    {
-      const auto got = bellman_ford(g, ws, source, eopts);
-      grind::testing::expect_near_vec(got.dist, ref::sssp_dijkstra(el, source),
-                                      1e-6, "BF dist");
+    for (const AlgorithmDesc* desc : entries) {
+      SCOPED_TRACE("algorithm=" + desc->name);
+      // Per-algorithm fuzz overrides (PRDelta tightens epsilon so its
+      // oracle comparison converges; SPMV feeds a non-uniform x), plus the
+      // shared random source for source-taking entries.
+      Params params = desc->fuzz_params ? desc->fuzz_params(n) : Params{};
+      if (desc->caps.needs_source) params.set("source", source);
+      Params resolved;
+      AnyResult result;
+      try {
+        resolved = desc->resolve(params, g);
+        engine::Engine eng(g, eopts, ws);
+        result = desc->run_resolved(eng, resolved);
+      } catch (const std::exception& e) {
+        FAIL() << desc->name << " threw: " << e.what();
+      }
+      ++exercised[desc->name];
+      if (!desc->check) continue;
+      try {
+        // The hook reports whether it really compared (CC skips under
+        // non-identity orderings) — only real comparisons count.
+        if (desc->check(cx, resolved, result)) ++checked[desc->name];
+      } catch (const std::exception& e) {
+        FAIL() << desc->name << " oracle mismatch: " << e.what();
+      }
     }
+  }
 
-    // CC: the directed label-propagation fixpoint is defined in terms of
-    // vertex numbering, so the oracle comparison is exact only under the
-    // identity ordering; other orderings are covered by the ordering-
-    // equivalence suite on symmetric graphs.
-    if (k.ordering == graph::VertexOrdering::kOriginal) {
-      const auto got = connected_components(g, ws, eopts);
-      const auto want = ref::cc_labels(el);
-      ASSERT_EQ(got.labels.size(), want.size());
-      for (std::size_t v = 0; v < want.size(); ++v)
-        ASSERT_EQ(got.labels[v], want[v]) << "CC label at v=" << v;
-    }
-
-    // PageRank, fixed iterations.
-    {
-      PageRankOptions popts;
-      const auto got = pagerank(g, ws, popts, eopts);
-      grind::testing::expect_near_vec(got.rank,
-                      ref::pagerank(el, popts.iterations, popts.damping),
-                      1e-9, "PR rank");
-    }
-
-    // PageRank-delta has no oracle of its own: with a tight epsilon,
-    // rank_Δ · (1 − damping) must converge to the fixpoint a long power
-    // iteration reaches (see pagerank_delta.hpp for the scaling).
-    {
-      PageRankDeltaOptions popts;
-      popts.epsilon = 1e-9;
-      popts.max_rounds = 300;
-      auto got = pagerank_delta(g, ws, popts, eopts);
-      for (auto& r : got.rank) r *= 1.0 - popts.damping;
-      grind::testing::expect_near_vec(got.rank, ref::pagerank(el, 200, popts.damping), 1e-5,
-                      "PRDelta rank (scaled by 1-damping)");
-    }
-
-    // SPMV with a non-uniform input vector.
-    {
-      std::vector<double> x(n);
-      for (vid_t v = 0; v < n; ++v) x[v] = 0.25 + static_cast<double>(v % 9);
-      const auto got = spmv(g, ws, x, eopts);
-      grind::testing::expect_near_vec(got.y, ref::spmv(el, x), 1e-9, "SPMV y");
-    }
-
-    // Betweenness dependency scores.
-    {
-      const auto got = betweenness_centrality(g, ws, source, eopts);
-      grind::testing::expect_near_vec(got.dependency, ref::bc_dependency(el, source), 1e-6,
-                      "BC dependency");
-    }
-
-    // Belief propagation with the same deterministic priors.
-    {
-      BeliefPropagationOptions popts;
-      const auto got = belief_propagation(g, ws, popts, eopts);
-      grind::testing::expect_near_vec(got.belief0,
-                      ref::belief_propagation(el, popts.iterations,
-                                              popts.q_base, popts.q_scale,
-                                              popts.prior_seed),
-                      1e-9, "BP belief0");
-    }
+  // Every registered algorithm must actually have run — a registry entry
+  // the sweep skips is a wiring bug, not a passing test.
+  for (const AlgorithmDesc* desc : entries) {
+    EXPECT_GT(exercised[desc->name], 0)
+        << desc->name << " was never exercised by the fuzz sweep";
+    if (desc->check)
+      EXPECT_GT(checked[desc->name], 0)
+          << desc->name << " was never oracle-checked by the fuzz sweep";
   }
 }
 

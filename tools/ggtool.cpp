@@ -1,21 +1,31 @@
 // ggtool — command-line front end to the library.
 //
+//   ggtool algos    [--codes]
 //   ggtool generate <rmat|powerlaw|road> <out.bin> [scale|n] [ef|deg] [seed]
 //   ggtool convert  <in(.txt|.bin)> <out(.txt|.bin)>
 //   ggtool stats    <graph>
 //   ggtool partition-report <graph> <partitions> [domains]
-//   ggtool run      <BC|CC|PR|BFS|PRDelta|SPMV|BF|BP> <graph>
+//   ggtool run      <ALGO> <graph>
 //                   [--partitions N] [--layout auto|csc|coo|pcsr]
 //                   [--order original|degree|hilbert|child]
-//                   [--source V] [--threads T] [--domains D] [--no-atomics]
+//                   [--source V] [--param k=v]... [--threads T]
+//                   [--domains D] [--no-atomics]
 //   ggtool serve    <graph> [--clients N] [--pool-cap N] [--queries N]
 //                   [--script FILE] [--threads-per-query T]
 //                   [--partitions N] [--order O] [--domains D]
 //
+// Algorithms are addressed by their registry paper code (`ggtool algos`
+// lists every registered algorithm with its flags and parameters; --codes
+// prints bare codes for scripting).  run/serve dispatch through the
+// AlgorithmRegistry, so a newly registered algorithm is immediately
+// runnable here with no ggtool changes.  --param k=v (repeatable) passes
+// typed parameters validated against the algorithm's schema; --source V is
+// shorthand for --param source=V.
+//
 // serve executes a query script concurrently through a GraphService with
-// --clients worker threads.  Script lines are "ALGO [source]" (one query
-// per line, '#' comments); without --script a default mixed workload of
-// --queries queries is generated.
+// --clients worker threads.  Script lines are "ALGO [source] [k=v ...]"
+// (one query per line, '#' comments); without --script a default mixed
+// workload of --queries queries is generated.
 //
 // --source and all printed vertex ids are in the input file's (original) ID
 // space; --order selects the internal vertex relabeling applied by the
@@ -38,14 +48,7 @@
 #include <string>
 #include <vector>
 
-#include "algorithms/bc.hpp"
-#include "algorithms/belief_propagation.hpp"
-#include "algorithms/bellman_ford.hpp"
-#include "algorithms/bfs.hpp"
-#include "algorithms/cc.hpp"
-#include "algorithms/pagerank.hpp"
-#include "algorithms/pagerank_delta.hpp"
-#include "algorithms/spmv.hpp"
+#include "algorithms/registry.hpp"
 #include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -81,25 +84,37 @@ void save_any(const graph::EdgeList& el, const std::string& path) {
   }
 }
 
+std::string algo_codes_line() {
+  std::string out;
+  for (const auto& name : algorithms::AlgorithmRegistry::instance().names()) {
+    if (!out.empty()) out += "|";
+    out += name;
+  }
+  return out;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
+         "  ggtool algos [--codes]\n"
          "  ggtool generate <rmat|powerlaw|road> <out> [scale|n] [ef|deg] "
          "[seed]\n"
          "  ggtool convert <in> <out>\n"
          "  ggtool stats <graph>\n"
          "  ggtool partition-report <graph> <partitions> [domains]\n"
          "  ggtool run <algo> <graph> [--partitions N] [--layout L] "
-         "[--order O] [--source V] [--threads T] [--domains D] "
-         "[--no-atomics]\n"
-         "    O = original|degree|hilbert|child (vertex reordering)\n"
-         "    D = logical NUMA domains of the build (default 4)\n"
-         "  ggtool serve <graph> [--clients N] [--pool-cap N] [--queries N] "
-         "[--script FILE]\n"
-         "               [--threads-per-query T] [--partitions N] "
-         "[--order O] [--domains D]\n"
-         "    script lines: \"ALGO [source]\" with ALGO one of "
-         "BFS|CC|PR|PRDelta|BF|BC|SPMV|BP\n";
+         "[--order O] [--source V] [--param k=v]... [--threads T] "
+         "[--domains D] [--no-atomics]\n"
+         "    algo = " +
+             algo_codes_line() +
+             " (see `ggtool algos`)\n"
+             "    O = original|degree|hilbert|child (vertex reordering)\n"
+             "    D = logical NUMA domains of the build (default 4)\n"
+             "  ggtool serve <graph> [--clients N] [--pool-cap N] "
+             "[--queries N] [--script FILE]\n"
+             "               [--threads-per-query T] [--partitions N] "
+             "[--order O] [--domains D]\n"
+             "    script lines: \"ALGO [source] [k=v ...]\"\n";
   return 1;
 }
 
@@ -146,6 +161,35 @@ void print_domain_map(const partition::Partitioning& parts,
     t.row(row);
   }
   std::cout << t;
+}
+
+/// `ggtool algos`: the registered algorithm catalogue.  --codes prints one
+/// bare paper code per line (stable scripting surface for CI smoke jobs).
+int cmd_algos(const std::vector<std::string>& args) {
+  const auto& registry = algorithms::AlgorithmRegistry::instance();
+  if (!args.empty()) {
+    if (args.size() != 1 || args[0] != "--codes") return usage();
+    for (const auto* d : registry.entries()) std::cout << d->name << "\n";
+    return 0;
+  }
+  Table t("registered algorithms (" + std::to_string(registry.size()) + ")");
+  t.header({"code", "V/E", "flags", "params", "description"});
+  for (const auto* d : registry.entries()) {
+    std::string flags;
+    auto add_flag = [&](bool on, const char* name) {
+      if (!on) return;
+      if (!flags.empty()) flags += ",";
+      flags += name;
+    };
+    add_flag(d->caps.needs_source, "source");
+    add_flag(d->caps.needs_weights, "weights");
+    add_flag(d->caps.takes_vector_input, "vector-in");
+    add_flag(d->caps.deterministic, "det");
+    t.row({d->name, d->caps.vertex_oriented ? "V" : "E", flags,
+           d->schema.summary(), d->title});
+  }
+  std::cout << t;
+  return 0;
 }
 
 int cmd_generate(const std::vector<std::string>& args) {
@@ -238,9 +282,17 @@ int cmd_run(const std::vector<std::string>& args) {
   const std::string algo = args[0];
   const std::string path = args[1];
 
+  const algorithms::AlgorithmDesc* desc =
+      algorithms::AlgorithmRegistry::instance().find(algo);
+  if (desc == nullptr) {
+    std::cerr << "error: unknown algorithm '" << algo
+              << "' (see `ggtool algos`)\n";
+    return usage();
+  }
+
   graph::BuildOptions bopts;
   engine::Options eopts;
-  vid_t source = kInvalidVertex;
+  algorithms::Params params;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -260,7 +312,42 @@ int cmd_run(const std::vector<std::string>& args) {
       if (!o) return usage();
       bopts.ordering = *o;
     } else if (a == "--source") {
-      source = static_cast<vid_t>(std::stoul(next()));
+      // Schema resolution would reject this as "unknown parameter", which
+      // reads like a typo'd key; say what is actually wrong.
+      if (!desc->caps.needs_source) {
+        std::cerr << "error: " << desc->name
+                  << " takes no source (--source is not applicable)\n";
+        return 1;
+      }
+      // Parse through the schema so "--source 12abc" fails like the
+      // documented-equivalent "--param source=12abc" instead of silently
+      // truncating at the junk.
+      if (params.has("source")) {
+        std::cerr << "error: duplicate parameter 'source'\n";
+        return 1;
+      }
+      try {
+        desc->schema.parse_kv("source=" + next(), &params);
+      } catch (const std::exception& e) {
+        std::cerr << "error: --source " << e.what() << "\n";
+        return 1;
+      }
+    } else if (a == "--param") {
+      // Typed by the algorithm's schema; unknown keys / malformed values
+      // are usage errors, reported with the offending key — and duplicate
+      // assignments are rejected exactly like serve-script lines.
+      const std::string kv = next();
+      if (params.has(kv.substr(0, kv.find('=')))) {
+        std::cerr << "error: duplicate parameter '"
+                  << kv.substr(0, kv.find('=')) << "'\n";
+        return 1;
+      }
+      try {
+        desc->schema.parse_kv(kv, &params);
+      } catch (const std::exception& e) {
+        std::cerr << "error: --param " << e.what() << "\n";
+        return 1;
+      }
     } else if (a == "--threads") {
       set_num_threads(std::stoi(next()));
     } else if (a == "--domains") {
@@ -279,52 +366,40 @@ int cmd_run(const std::vector<std::string>& args) {
   const auto g = graph::Graph::build(std::move(el), bopts);
   const double build_s = build_timer.seconds();
 
-  if (source == kInvalidVertex) {
-    source = g.max_out_degree_source();  // original-ID space
-  } else if (source >= g.num_vertices()) {
-    std::fprintf(stderr, "error: --source %u out of range (graph has %u vertices)\n",
-                 source, g.num_vertices());
+  // Resolve source-style defaults up front so the info output can report
+  // the source actually used; range errors exit 1 with a friendly message
+  // (matching the old behaviour) instead of surfacing as a runtime throw.
+  algorithms::Params resolved;
+  try {
+    resolved = desc->resolve(params, g);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
 
   engine::Engine eng(g, eopts);
   Timer run_timer;
-  if (algo == "BC") {
-    algorithms::betweenness_centrality(eng, source);
-  } else if (algo == "CC") {
-    const auto r = algorithms::connected_components(eng);
-    std::cout << "components: " << r.num_components << "\n";
-  } else if (algo == "PR") {
-    algorithms::pagerank(eng);
-  } else if (algo == "BFS") {
-    const auto r = algorithms::bfs(eng, source);
-    std::cout << "reached: " << r.reached << "\n";
-  } else if (algo == "PRDelta") {
-    const auto r = algorithms::pagerank_delta(eng);
-    std::cout << "rounds: " << r.rounds << " (" << r.dense_rounds << " dense/"
-              << r.medium_rounds << " medium/" << r.sparse_rounds
-              << " sparse)\n";
-  } else if (algo == "SPMV") {
-    algorithms::spmv(eng);
-  } else if (algo == "BF") {
-    algorithms::bellman_ford(eng, source);
-  } else if (algo == "BP") {
-    algorithms::belief_propagation(eng);
-  } else {
-    return usage();
-  }
+  const algorithms::AnyResult result = desc->run_resolved(eng, resolved);
+  const double run_s = run_timer.seconds();
+  if (desc->summarize) std::cout << desc->summarize(result) << "\n";
+
   const auto& pe = g.partitioning_edges();
   std::cout << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
             << " edges, " << pe.num_partitions() << " partitions (built in "
             << Table::num(build_s, 3) << " s)\n"
-            << "ordering: " << graph::ordering_name(g.build_options().ordering)
-            << ", source " << source << " (original) = "
-            << g.to_internal(source) << " (internal)\n"
+            << "ordering: "
+            << graph::ordering_name(g.build_options().ordering);
+  if (desc->caps.needs_source) {
+    const vid_t source = static_cast<vid_t>(resolved.get_int("source"));
+    std::cout << ", source " << source << " (original) = "
+              << g.to_internal(source) << " (internal)";
+  }
+  std::cout << "\n"
             << "partitioning: edge imbalance "
             << Table::num(pe.edge_imbalance(), 3) << ", replication r(p) "
             << Table::num(partition::replication_factor(g.edge_list(), pe), 3)
             << "\n"
-            << algo << " completed in " << Table::num(run_timer.seconds(), 4)
+            << algo << " completed in " << Table::num(run_s, 4)
             << " s with " << num_threads() << " threads\n"
             << eng.stats_report();
   print_domain_map(g.partitioning_edges(), g.numa(), "domain map",
@@ -332,32 +407,67 @@ int cmd_run(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Parse one script line ("ALGO [source]") into a request; returns false on
-// malformed lines (unknown algorithm, non-numeric source, trailing junk),
-// reported with the line number by the caller.
-bool parse_query_line(const std::string& line, service::QueryRequest* out) {
+// Parse one script line ("ALGO [source] [k=v ...]") into a request; returns
+// false with a diagnostic on malformed lines (unknown algorithm, bad source,
+// schema-rejected parameters), reported with the line number by the caller.
+bool parse_query_line(const std::string& line, service::QueryRequest* out,
+                      std::string* diag) {
   std::istringstream is(line);
   std::string code;
   if (!(is >> code)) return false;
-  const auto algo = service::parse_algorithm(code);
-  if (!algo) return false;
-  out->algorithm = *algo;
+  const algorithms::AlgorithmDesc* desc =
+      algorithms::AlgorithmRegistry::instance().find(code);
+  if (desc == nullptr) {
+    *diag = "unknown algorithm '" + code + "'";
+    return false;
+  }
+  out->algorithm = desc->name;
   std::string tok;
-  if (is >> tok) {
-    // Strict unsigned 32-bit parse: stoul would wrap "-1" and truncating
-    // to vid_t would silently turn out-of-range IDs into valid ones.
-    if (tok.empty() || tok[0] == '-' || tok[0] == '+') return false;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      // Reject duplicate assignments in either spelling ("BFS 3 source=5"
+      // must fail just like "BFS source=5 3" does below).
+      if (out->params.has(tok.substr(0, eq))) {
+        *diag = "duplicate parameter '" + tok.substr(0, eq) + "'";
+        return false;
+      }
+      try {
+        desc->schema.parse_kv(tok, &out->params);
+      } catch (const std::exception& e) {
+        *diag = e.what();
+        return false;
+      }
+      continue;
+    }
+    // A bare token is the source shorthand, valid once and only for
+    // source-taking algorithms.  Strict unsigned 32-bit parse: stoul would
+    // wrap "-1" and truncating to vid_t would silently turn out-of-range
+    // IDs into valid ones.
+    if (!desc->caps.needs_source) {
+      *diag = desc->name + " takes no source (token '" + tok + "')";
+      return false;
+    }
+    if (out->params.has("source")) {
+      *diag = "unexpected trailing token '" + tok + "' (source already given)";
+      return false;
+    }
+    if (tok.empty() || tok[0] == '-' || tok[0] == '+') {
+      *diag = "bad source '" + tok + "'";
+      return false;
+    }
     try {
       std::size_t pos = 0;
       const unsigned long long src = std::stoull(tok, &pos);
-      if (pos != tok.size()) return false;  // "1O", "5x": partial parse
-      if (src >= kInvalidVertex) return false;
-      out->source = static_cast<vid_t>(src);
+      if (pos != tok.size() || src >= kInvalidVertex) {
+        *diag = "bad source '" + tok + "'";
+        return false;  // "1O", "5x": partial parse; or out of vid_t range
+      }
+      out->params.set("source", static_cast<vid_t>(src));
     } catch (const std::exception&) {
+      *diag = "bad source '" + tok + "'";
       return false;
     }
-    std::string rest;
-    if (is >> rest) return false;  // trailing tokens
   }
   return true;
 }
@@ -421,24 +531,23 @@ int cmd_serve(const std::vector<std::string>& args) {
       if (hash != std::string::npos) line.erase(hash);
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       service::QueryRequest req;
-      if (!parse_query_line(line, &req)) {
+      std::string diag;
+      if (!parse_query_line(line, &req, &diag)) {
         std::cerr << "error: bad script line " << lineno << ": " << line
-                  << "\n";
+                  << (diag.empty() ? "" : " (" + diag + ")") << "\n";
         return 2;
       }
       reqs.push_back(std::move(req));
     }
   } else {
-    const service::Algorithm mix[] = {
-        service::Algorithm::kBfs, service::Algorithm::kPageRank,
-        service::Algorithm::kCc, service::Algorithm::kBellmanFord};
+    const auto& registry = algorithms::AlgorithmRegistry::instance();
+    const char* const mix[] = {"BFS", "PR", "CC", "BF"};
     for (std::size_t q = 0; q < queries; ++q) {
-      service::QueryRequest req;
-      req.algorithm = mix[q % std::size(mix)];
+      service::QueryRequest req(mix[q % std::size(mix)]);
       if (g.num_vertices() > 0 &&
-          (req.algorithm == service::Algorithm::kBfs ||
-           req.algorithm == service::Algorithm::kBellmanFord))
-        req.source = static_cast<vid_t>((q * 131) % g.num_vertices());
+          registry.at(req.algorithm).caps.needs_source)
+        req.params.set("source",
+                       static_cast<vid_t>((q * 131) % g.num_vertices()));
       reqs.push_back(std::move(req));
     }
   }
@@ -452,11 +561,10 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::size_t failed = 0;
   for (auto& f : futures) {
     const auto r = f.get();
-    ++per_algo[service::algorithm_name(r.algorithm)];
+    ++per_algo[r.algorithm];
     if (!r.ok()) {
       ++failed;
-      std::cerr << "query failed: " << service::algorithm_name(r.algorithm)
-                << ": " << r.error << "\n";
+      std::cerr << "query failed: " << r.algorithm << ": " << r.error << "\n";
     }
   }
   const double elapsed = wall.seconds();
@@ -498,6 +606,7 @@ int main(int argc, char** argv) {
   try {
     const std::string cmd = args[0];
     args.erase(args.begin());
+    if (cmd == "algos") return cmd_algos(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert" && args.size() == 2) {
       save_any(load_any(args[0]), args[1]);
