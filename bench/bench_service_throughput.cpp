@@ -11,11 +11,21 @@
 // pool smaller than the client count caps effective concurrency at the pool
 // size.
 //
+// Besides throughput each configuration reports the end-to-end latency
+// distribution (queue wait + execution, nearest-rank p50/p99/p999) — the
+// tail is what the admission-control knobs in docs/SERVICE.md manage.  When
+// the binary is built with -DGRIND_FAULT_INJECT, each configuration runs a
+// second time with a probabilistic "service.worker-stall" fault armed, so
+// the trajectory records how the tail degrades with a slow worker in the
+// pool ("slow_worker":true rows).
+//
 // One JSON object per (clients × pool) configuration goes to stdout for the
 // perf trajectory, e.g.:
 //   {"bench":"service_throughput","graph":"Twitter","clients":4,"pool":4,
-//    "queries":64,"seconds":...,"qps":...,"speedup_vs_1":...}
+//    "queries":64,"seconds":...,"qps":...,"speedup_vs_1":...,
+//    "p50_ms":...,"p99_ms":...,"p999_ms":...,"slow_worker":false}
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <iostream>
@@ -26,6 +36,7 @@
 #include "graph/graph.hpp"
 #include "service/graph_service.hpp"
 #include "suite.hpp"
+#include "sys/fault.hpp"
 #include "sys/table.hpp"
 #include "sys/timer.hpp"
 
@@ -53,8 +64,22 @@ std::vector<service::QueryRequest> make_workload(const graph::Graph& g,
   return reqs;
 }
 
-double run_once(const graph::EdgeList& el, std::size_t clients,
-                std::size_t pool_cap, std::size_t queries) {
+struct RunResult {
+  double secs = 0.0;
+  std::vector<double> latencies;  // per-query queue wait + execution [s]
+};
+
+/// Nearest-rank percentile of an unsorted latency sample, in milliseconds.
+double percentile_ms(std::vector<double> lat, double p) {
+  if (lat.empty()) return 0.0;
+  std::sort(lat.begin(), lat.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(lat.size()))));
+  return lat[std::min(rank, lat.size()) - 1] * 1e3;
+}
+
+RunResult run_once(const graph::EdgeList& el, std::size_t clients,
+                   std::size_t pool_cap, std::size_t queries) {
   service::ServiceConfig cfg;
   cfg.workers = clients;
   cfg.pool_capacity = pool_cap;
@@ -70,6 +95,8 @@ double run_once(const graph::EdgeList& el, std::size_t clients,
   }
 
   auto reqs = make_workload(svc.graph(), queries);
+  RunResult res;
+  res.latencies.reserve(queries);
   Timer wall;
   std::vector<std::future<service::QueryResult>> futures;
   futures.reserve(reqs.size());
@@ -77,8 +104,27 @@ double run_once(const graph::EdgeList& el, std::size_t clients,
   for (auto& f : futures) {
     const auto r = f.get();
     if (!r.ok()) std::cerr << "query failed: " << r.error << "\n";
+    res.latencies.push_back(r.queue_seconds + r.seconds);
   }
-  return wall.seconds();
+  res.secs = wall.seconds();
+  return res;
+}
+
+void emit_row(const std::string& graph_name, std::size_t clients,
+              std::size_t pool, std::size_t queries, const RunResult& r,
+              double base_qps, bool slow_worker) {
+  const double qps = static_cast<double>(queries) / r.secs;
+  std::printf(
+      "{\"bench\":\"service_throughput\",\"graph\":\"%s\","
+      "\"clients\":%zu,\"pool\":%zu,\"queries\":%zu,"
+      "\"seconds\":%.6f,\"qps\":%.2f,\"speedup_vs_1\":%.3f,"
+      "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"p999_ms\":%.3f,"
+      "\"slow_worker\":%s}\n",
+      graph_name.c_str(), clients, pool, queries, r.secs, qps,
+      base_qps > 0 ? qps / base_qps : 1.0, percentile_ms(r.latencies, 0.50),
+      percentile_ms(r.latencies, 0.99), percentile_ms(r.latencies, 0.999),
+      slow_worker ? "true" : "false");
+  std::fflush(stdout);
 }
 
 void report(const std::string& graph_name) {
@@ -102,34 +148,50 @@ void report(const std::string& graph_name) {
 
   struct Row {
     Config cfg;
-    double secs, qps;
+    double secs, qps, p50, p99, p999;
   };
   std::vector<Row> rows;
   double base_qps = 0.0;
 
   for (const Config& c : configs) {
-    const double secs = run_once(el, c.clients, c.pool, queries);
-    const double qps = static_cast<double>(queries) / secs;
+    const RunResult res = run_once(el, c.clients, c.pool, queries);
+    const double qps = static_cast<double>(queries) / res.secs;
     if (c.clients == 1) base_qps = qps;
-    rows.push_back({c, secs, qps});
+    rows.push_back({c, res.secs, qps, percentile_ms(res.latencies, 0.50),
+                    percentile_ms(res.latencies, 0.99),
+                    percentile_ms(res.latencies, 0.999)});
+    emit_row(graph_name, c.clients, c.pool, queries, res, base_qps,
+             /*slow_worker=*/false);
 
-    std::printf(
-        "{\"bench\":\"service_throughput\",\"graph\":\"%s\","
-        "\"clients\":%zu,\"pool\":%zu,\"queries\":%zu,"
-        "\"seconds\":%.6f,\"qps\":%.2f,\"speedup_vs_1\":%.3f}\n",
-        graph_name.c_str(), c.clients, c.pool, queries, secs, qps,
-        base_qps > 0 ? qps / base_qps : 1.0);
-    std::fflush(stdout);
+#ifdef GRIND_FAULT_INJECT
+    // Same configuration with one-in-five queries stalled 20 ms between
+    // lease and execution: the p99/p999 deltas against the clean rows show
+    // how much tail a slow worker costs at each concurrency level.
+    {
+      sys::fault::Spec stall;
+      stall.probability = 0.2;
+      stall.stall_ms = 20;
+      stall.seed = 29;
+      sys::fault::arm("service.worker-stall", stall);
+      const RunResult slow = run_once(el, c.clients, c.pool, queries);
+      sys::fault::disarm_all();
+      emit_row(graph_name, c.clients, c.pool, queries, slow, base_qps,
+               /*slow_worker=*/true);
+    }
+#endif
   }
 
   Table t("service throughput — " + graph_name + "-like, " +
           std::to_string(queries) + " mixed queries (BFS/PR/BF/CC), 1 "
           "thread per query, " + std::to_string(hw) + " hw threads");
-  t.header({"clients", "pool", "seconds", "queries/s", "speedup vs 1"});
+  t.header({"clients", "pool", "seconds", "queries/s", "speedup vs 1",
+            "p50 [ms]", "p99 [ms]", "p999 [ms]"});
   for (const auto& r : rows)
     t.row({Table::num(r.cfg.clients), Table::num(r.cfg.pool),
            Table::num(r.secs, 3), Table::num(r.qps, 1),
-           Table::num(base_qps > 0 ? r.qps / base_qps : 1.0, 2)});
+           Table::num(base_qps > 0 ? r.qps / base_qps : 1.0, 2),
+           Table::num(r.p50, 2), Table::num(r.p99, 2),
+           Table::num(r.p999, 2)});
   std::cout << t << '\n';
 }
 
@@ -140,6 +202,8 @@ int main() {
   std::cout << "Expected: queries/s scales with client count while the pool\n"
                "matches it (>= 2x at 4 clients on multi-core hosts); pool=1\n"
                "at 4 clients collapses back towards single-client throughput\n"
-               "(workspace checkout is the concurrency throttle).\n";
+               "(workspace checkout is the concurrency throttle), and its\n"
+               "p99 latency stretches as queries wait for the single\n"
+               "workspace.\n";
   return 0;
 }

@@ -24,10 +24,24 @@
 #include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
+#include "sys/cancel.hpp"
+#include "sys/fault.hpp"
 #include "sys/parallel.hpp"
 #include "sys/timer.hpp"
 
 namespace grind::engine {
+
+/// Poll a cancellation token at a kernel boundary; throws sys::Cancelled
+/// when the token (or the "engine.poll-cancel" fault site) has fired.
+/// Safe to call with a null token.
+inline void poll_cancel(const sys::CancelToken* token) {
+  if (token == nullptr) return;
+  const sys::CancelState s = token->state();
+  if (s != sys::CancelState::kRun) throw sys::Cancelled(s);
+  if (GRIND_FAULT_FIRE("engine.poll-cancel")) {
+    throw sys::Cancelled(sys::CancelState::kCancelled);
+  }
+}
 
 /// Pick the traversal kind for frontier weight `w` on a graph of `m` edges.
 /// Exposed separately so tests can probe the decision thresholds directly.
@@ -88,6 +102,8 @@ template <EdgeOperator Op>
 Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
                   const Options& opts = {}, TraversalStats* stats = nullptr,
                   TraversalWorkspace* ws = nullptr) {
+  const sys::CancelToken* token = opts.cancel.get();
+  poll_cancel(token);
   if (f.empty()) return Frontier::empty(g.num_vertices());
 
   const TraversalKind kind =
@@ -109,19 +125,29 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
           opts.csc_balance == partition::BalanceMode::kVertices
               ? g.partitioning_vertices()
               : g.partitioning_edges();
-      out = traverse_csc_backward(g, f, op, ranges, &edges, ws, &affinity);
+      out = traverse_csc_backward(g, f, op, ranges, &edges, ws, &affinity,
+                                  token);
       used_atomics = false;  // backward is single-writer by construction
       break;
     }
     case TraversalKind::kDenseCoo:
-      out = traverse_coo(g, f, op, atomics, &edges, ws, &affinity);
+      out = traverse_coo(g, f, op, atomics, &edges, ws, &affinity, token);
       used_atomics = atomics;
       break;
     case TraversalKind::kPartitionedCsr:
-      out = traverse_partitioned_csr(g, f, op, atomics, &edges, ws, &affinity);
+      out = traverse_partitioned_csr(g, f, op, atomics, &edges, ws, &affinity,
+                                     token);
       used_atomics = atomics;
       break;
   }
+
+  // The partition kernels early-out (skipping whole partitions) when the
+  // token fires mid-sweep; they cannot throw from inside an OpenMP region.
+  // The token is monotonic, so checking it *after* the sweep is conclusive:
+  // still runnable here ⟹ it never fired during the sweep ⟹ `out` is
+  // complete.  Otherwise `out` may be partial and must not be returned as a
+  // valid frontier.
+  poll_cancel(token);
 
   if (stats != nullptr) {
     stats->record(kind, timer.seconds(), edges, used_atomics);

@@ -190,6 +190,11 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
                             const Options& opts = {},
                             TraversalStats* stats = nullptr,
                             TraversalWorkspace* ws = nullptr) {
+  // Poll at entry only: the transpose kernels run at most one full sweep
+  // between edge_map_transpose boundaries, and iterative transpose callers
+  // (BP) hit this poll once per iteration — the same boundary guarantee as
+  // the forward path without threading the token into three more kernels.
+  poll_cancel(opts.cancel.get());
   if (f.empty()) return Frontier::empty(g.num_vertices());
 
   // Recompute the weight against in-degrees: Σ deg⁻ over active vertices

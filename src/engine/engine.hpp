@@ -36,18 +36,33 @@ class Engine {
   /// that recycle() retired frontiers run allocation-free at steady state.
   template <EdgeOperator Op>
   Frontier edge_map(Frontier& f, Op op) {
-    return engine::edge_map(*graph_, f, std::move(op), opts_,
-                            opts_.collect_stats ? &stats_ : nullptr,
-                            &workspace());
+    Frontier out = engine::edge_map(*graph_, f, std::move(op), opts_,
+                                    opts_.collect_stats ? &stats_ : nullptr,
+                                    &workspace());
+    ++sweeps_done_;
+    return out;
   }
 
   /// Apply an edge operator over the transposed graph (data flows d→s).
   template <EdgeOperator Op>
   Frontier edge_map_transpose(Frontier& f, Op op) {
-    return engine::edge_map_transpose(*graph_, f, std::move(op), opts_,
-                                      opts_.collect_stats ? &stats_ : nullptr,
-                                      &workspace());
+    Frontier out =
+        engine::edge_map_transpose(*graph_, f, std::move(op), opts_,
+                                   opts_.collect_stats ? &stats_ : nullptr,
+                                   &workspace());
+    ++sweeps_done_;
+    return out;
   }
+
+  /// Poll the options' cancellation token; throws sys::Cancelled when it has
+  /// fired.  edge_map / edge_map_transpose poll implicitly; long vertex-only
+  /// phases can call this directly.
+  void poll_cancel() const { engine::poll_cancel(opts_.cancel.get()); }
+
+  /// Number of edge-map sweeps that ran to completion on this engine — a
+  /// proxy for iteration progress that needs no per-algorithm bookkeeping.
+  /// A query cancelled mid-run reports this as its partial progress.
+  [[nodiscard]] int sweeps_done() const { return sweeps_done_; }
 
   /// The engine's traversal scratch arena (borrowed when constructed with an
   /// external workspace, owned otherwise).  The owned workspace is created
@@ -109,6 +124,7 @@ class Engine {
   const graph::Graph* graph_;
   Options opts_;
   TraversalStats stats_;
+  int sweeps_done_ = 0;
   Orientation orientation_ = Orientation::kEdge;
   TraversalWorkspace* external_ws_ = nullptr;
   std::unique_ptr<TraversalWorkspace> owned_ws_;

@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "partition/partitioner.hpp"
+#include "sys/cancel.hpp"
 #include "sys/types.hpp"
 
 namespace grind::engine {
@@ -69,6 +71,14 @@ struct Options {
 
   /// Collect per-traversal statistics (cheap; on by default).
   bool collect_stats = true;
+
+  /// Cooperative cancellation token, polled at every edge_map boundary and
+  /// once per partition sweep inside the partition-parallel kernels.  When
+  /// the token reports a stop, the engine throws sys::Cancelled out of the
+  /// next poll point; kernels themselves never throw — they early-out and
+  /// leave the verdict to the edge_map layer (see edge_map.hpp).  Null means
+  /// the traversal is uncancellable (the historical behaviour).
+  std::shared_ptr<const sys::CancelToken> cancel;
 };
 
 /// Home/stolen work split of one domain-affine traversal (domain_sched.hpp):

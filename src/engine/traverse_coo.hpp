@@ -28,15 +28,22 @@
 #include "frontier/frontier.hpp"
 #include "graph/graph.hpp"
 #include "sys/bitmap.hpp"
+#include "sys/cancel.hpp"
 #include "sys/parallel.hpp"
 
 namespace grind::engine {
 
+/// `cancel`, when non-null, is polled once per partition/chunk: a fired token
+/// makes remaining work items return immediately (the sweep "drains").  The
+/// body never throws — affine_for bodies run inside an OpenMP region — so
+/// the caller (edge_map) must re-check the token after the sweep and discard
+/// the partial frontier.
 template <EdgeOperator Op>
 Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
                       bool use_atomics, eid_t* edges_examined,
                       TraversalWorkspace* ws = nullptr,
-                      AffineCounts* affinity = nullptr) {
+                      AffineCounts* affinity = nullptr,
+                      const sys::CancelToken* cancel = nullptr) {
   f.to_dense(ws);
   const auto& coo = g.coo();
   const NumaModel& numa = g.numa();
@@ -57,6 +64,7 @@ Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
           return numa.domain_of_partition(static_cast<part_t>(p), np);
         },
         [&](std::size_t p) {
+          if (cancel != nullptr && cancel->should_stop()) return std::uint64_t{0};
           const auto es = coo.edges(static_cast<part_t>(p));
           for (const Edge& e : es) {
             if (in.get(e.src) && op.cond(e.dst) &&
@@ -76,6 +84,7 @@ Frontier traverse_coo(const graph::Graph& g, Frontier& f, Op& op,
           return numa.domain_of_partition(items[w].part, np);
         },
         [&](std::size_t w) {
+          if (cancel != nullptr && cancel->should_stop()) return std::uint64_t{0};
           const partition::CooChunk& it = items[w];
           const auto es = coo.edges(it.part);
           for (eid_t i = it.begin; i < it.end; ++i) {

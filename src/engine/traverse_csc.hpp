@@ -20,6 +20,7 @@
 #include "graph/graph.hpp"
 #include "partition/partitioner.hpp"
 #include "sys/bitmap.hpp"
+#include "sys/cancel.hpp"
 #include "sys/parallel.hpp"
 
 namespace grind::engine {
@@ -50,7 +51,8 @@ Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
                                const partition::Partitioning& ranges,
                                eid_t* edges_examined,
                                TraversalWorkspace* ws = nullptr,
-                               AffineCounts* affinity = nullptr) {
+                               AffineCounts* affinity = nullptr,
+                               const sys::CancelToken* cancel = nullptr) {
   f.to_dense(ws);
   const auto& csc = g.csc();
   const NumaModel& numa = g.numa();
@@ -75,6 +77,12 @@ Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
         return csc_chunk_domain(storage_parts, numa, chunks[c]);
       },
       [&](std::size_t c) {
+        // Fired token: drain the sweep without work; edge_map re-checks and
+        // discards the partial frontier (bodies must not throw here).
+        if (cancel != nullptr && cancel->should_stop()) {
+          edge_counts[c] = 0;
+          return std::uint64_t{0};
+        }
         const VertexRange r = chunks[c];
         eid_t local_edges = 0;
         for (vid_t d = r.begin; d < r.end; ++d) {

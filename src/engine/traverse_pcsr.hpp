@@ -26,6 +26,7 @@
 #include "graph/graph.hpp"
 #include "partition/partitioned_csr.hpp"
 #include "sys/bitmap.hpp"
+#include "sys/cancel.hpp"
 #include "sys/parallel.hpp"
 
 namespace grind::engine {
@@ -34,7 +35,8 @@ template <EdgeOperator Op>
 Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
                                   bool use_atomics, eid_t* edges_examined,
                                   TraversalWorkspace* ws = nullptr,
-                                  AffineCounts* affinity = nullptr) {
+                                  AffineCounts* affinity = nullptr,
+                                  const sys::CancelToken* cancel = nullptr) {
   f.to_dense(ws);
   const auto& pc = g.partitioned_csr();
   const NumaModel& numa = g.numa();
@@ -59,6 +61,7 @@ Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
           return numa.domain_of_partition(static_cast<part_t>(pi), np);
         },
         [&](std::size_t pi) {
+          if (cancel != nullptr && cancel->should_stop()) return std::uint64_t{0};
           const auto& part = pc.part(static_cast<part_t>(pi));
           const vid_t nloc = part.num_local_vertices();
           for (vid_t i = 0; i < nloc; ++i) {
@@ -82,6 +85,7 @@ Frontier traverse_partitioned_csr(const graph::Graph& g, Frontier& f, Op& op,
           return numa.domain_of_partition(items[w].part, np);
         },
         [&](std::size_t w) {
+          if (cancel != nullptr && cancel->should_stop()) return std::uint64_t{0};
           const partition::PcsrChunk& it = items[w];
           const auto& part = pc.part(it.part);
           for (vid_t i = it.begin; i < it.end; ++i) {

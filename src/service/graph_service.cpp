@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <new>
 #include <stdexcept>
 #include <utility>
 
 #include "engine/engine.hpp"
+#include "sys/fault.hpp"
 #include "sys/parallel.hpp"
 #include "sys/timer.hpp"
 
@@ -14,38 +16,33 @@ namespace grind::service {
 
 namespace {
 
-/// Enum-value ↔ paper-code correspondence of the deprecated compatibility
-/// enum.  The registry owns the codes; this table only fixes which code
-/// each legacy enum value meant.
-constexpr const char* kLegacyCodes[] = {
-    "BFS", "CC", "PR", "PRDelta", "BF", "BC", "SPMV", "BP",
-};
+/// Parameter keys that cap an iterative algorithm's round count; the
+/// overload policy clamps whichever of these the target schema declares.
+constexpr const char* kIterationKeys[] = {"iterations", "max_rounds"};
+
+QueryStatus status_of(sys::CancelState s) {
+  return s == sys::CancelState::kDeadlineExceeded
+             ? QueryStatus::kDeadlineExceeded
+             : QueryStatus::kCancelled;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 }  // namespace
 
-// The shims implement the deprecated surface; silence the self-referential
-// deprecation warnings inside their own definitions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-const char* algorithm_name(Algorithm a) {
-  const auto i = static_cast<std::size_t>(a);
-  return i < std::size(kLegacyCodes) ? kLegacyCodes[i] : "?";
+const char* to_string(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kError: return "error";
+    case QueryStatus::kDeadlineExceeded: return "deadline";
+    case QueryStatus::kCancelled: return "cancelled";
+    case QueryStatus::kShed: return "shed";
+  }
+  return "?";
 }
-
-std::optional<Algorithm> parse_algorithm(std::string_view code) {
-  // Only codes the registry actually knows parse, so the registry stays the
-  // single source of truth even through the legacy surface.
-  if (algorithms::AlgorithmRegistry::instance().find(code) == nullptr)
-    return std::nullopt;
-  for (std::size_t i = 0; i < std::size(kLegacyCodes); ++i)
-    if (code == kLegacyCodes[i]) return static_cast<Algorithm>(i);
-  return std::nullopt;
-}
-
-QueryRequest::QueryRequest(Algorithm a) : algorithm(algorithm_name(a)) {}
-
-#pragma GCC diagnostic pop
 
 GraphService::GraphService(graph::Graph g, ServiceConfig cfg)
     : graph_(std::move(g)),
@@ -68,11 +65,21 @@ void GraphService::shutdown() {
   // Serialise whole shutdowns so two concurrent calls (or an explicit call
   // racing the destructor) cannot both join the same threads.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_m_);
+  std::deque<Job> stolen;
   {
     std::lock_guard<std::mutex> lock(queue_m_);
     stopping_ = true;
+    stolen.swap(queue_);  // steal atomically with the flag: workers that
+                          // wake on stopping_ find an empty queue
   }
+  // Wake blocked pool waits (a worker waiting for a lease cannot observe
+  // stopping_) — acquire returns invalid / nullopt and the query resolves
+  // kCancelled instead of wedging the join below.
+  pool_.close();
   queue_cv_.notify_all();
+  // Every stolen entry resolves its future(s): shutdown cancels queued work,
+  // it never drops it.  In-flight queries run to completion.
+  for (auto& job : stolen) job.drop(QueryStatus::kCancelled, "service shutdown");
   for (auto& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();
@@ -92,41 +99,160 @@ void GraphService::worker_loop(std::size_t index) {
       numa.domain_of_thread(static_cast<int>(index),
                             static_cast<int>(cfg_.workers)));
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(queue_m_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      // shutdown() steals the queue under the same lock that sets
+      // stopping_, so stopping_ ⇒ nothing left to run here.
+      if (stopping_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    if (cfg_.admission_timeout.count() > 0 &&
+        Clock::now() - job.enqueued > cfg_.admission_timeout) {
+      // Stale entry: the submitter's latency budget is already blown and
+      // executing it only delays everything behind it.
+      job.drop(QueryStatus::kShed, "admission timeout exceeded in queue");
+    } else {
+      job.run();
+    }
   }
 }
 
-void GraphService::enqueue(std::function<void()> job) {
+bool GraphService::enqueue(Job&& job) {
   {
     std::lock_guard<std::mutex> lock(queue_m_);
     if (stopping_)
       throw std::runtime_error("GraphService: submit after shutdown");
+    if (cfg_.max_queue_depth != 0 && queue_.size() >= cfg_.max_queue_depth)
+      return false;
     queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
+  return true;
+}
+
+std::size_t GraphService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_m_);
+  return queue_.size();
+}
+
+QueryResult GraphService::unrun_result(const std::string& algorithm,
+                                       QueryStatus status, std::string why) {
+  QueryResult r;
+  r.algorithm = algorithm;
+  r.status = status;
+  r.error = std::move(why);
+  return r;
 }
 
 std::future<QueryResult> GraphService::submit(QueryRequest req) {
   auto request = std::make_shared<QueryRequest>(std::move(req));
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> fut = promise->get_future();
-  enqueue([this, request, promise] {
-    // The job runs on a pinned worker: lease scratch warm on its domain.
-    auto lease = pool_.acquire(preferred_domain());
-    QueryResult r = execute(*request, *lease);
-    lease.release();  // return the workspace before the future wakes waiters
+
+  // The deadline clock starts at admission: queue wait counts against it.
+  std::shared_ptr<sys::CancelToken> token = request->cancel;
+  if (token == nullptr && request->deadline.count() > 0)
+    token = std::make_shared<sys::CancelToken>();
+  if (token != nullptr && request->deadline.count() > 0)
+    token->set_deadline_in(request->deadline);
+
+  Job job;
+  job.enqueued = Clock::now();
+  const auto enqueued = job.enqueued;
+  job.drop = [this, request, promise](QueryStatus st, const std::string& why) {
+    QueryResult r = unrun_result(request->algorithm, st, why);
     record(r);
     promise->set_value(std::move(r));
-  });
+  };
+  job.run = [this, request, promise, token, enqueued] {
+    QueryResult r = run_one(*request, token, enqueued);
+    record(r);
+    promise->set_value(std::move(r));
+  };
+  if (!enqueue(std::move(job))) {
+    // Full queue: shed on the submitter's thread, immediately — admission
+    // control must never block the caller.
+    QueryResult r = unrun_result(request->algorithm, QueryStatus::kShed,
+                                 "queue full (max_queue_depth)");
+    record(r);
+    promise->set_value(std::move(r));
+  }
   return fut;
+}
+
+QueryResult GraphService::run_one(
+    const QueryRequest& req, const std::shared_ptr<sys::CancelToken>& token,
+    Clock::time_point enqueued) {
+  const Clock::time_point start = Clock::now();
+  const double queue_seconds = seconds_between(enqueued, start);
+
+  // The deadline may already have passed while the query sat in line.
+  if (token != nullptr) {
+    const sys::CancelState s = token->state();
+    if (s != sys::CancelState::kRun) {
+      QueryResult r = unrun_result(req.algorithm, status_of(s),
+                                   s == sys::CancelState::kDeadlineExceeded
+                                       ? "deadline exceeded in queue"
+                                       : "cancelled in queue");
+      r.queue_seconds = queue_seconds;
+      return r;
+    }
+  }
+
+  // Lease scratch warm on this worker's domain, waiting no longer than the
+  // query's own deadline and the configured lease timeout allow.  Lazy
+  // workspace creation can throw bad_alloc (real memory pressure, or the
+  // "pool.workspace-alloc" fault site) — that fails this query, never the
+  // worker; the unclaimed capacity slot stays available for later queries.
+  WorkspacePool::Lease lease;
+  const bool token_deadline = token != nullptr && token->has_deadline();
+  try {
+    if (token_deadline || cfg_.lease_timeout.count() > 0) {
+      Clock::time_point until = Clock::time_point::max();
+      if (token_deadline) until = token->deadline();
+      if (cfg_.lease_timeout.count() > 0)
+        until = std::min(until, start + cfg_.lease_timeout);
+      auto opt = pool_.try_acquire_until(until, preferred_domain());
+      if (!opt.has_value()) {
+        QueryResult r =
+            pool_.closed()
+                ? unrun_result(req.algorithm, QueryStatus::kCancelled,
+                               "service shutdown")
+                : (token != nullptr && token->should_stop()
+                       ? unrun_result(req.algorithm, status_of(token->state()),
+                                      "deadline exceeded waiting for workspace")
+                       : unrun_result(req.algorithm, QueryStatus::kShed,
+                                      "workspace lease timeout"));
+        r.queue_seconds = queue_seconds;
+        return r;
+      }
+      lease = std::move(*opt);
+    } else {
+      lease = pool_.acquire(preferred_domain());
+      if (!lease.valid()) {
+        // The pool was closed by shutdown() while we waited.
+        QueryResult r = unrun_result(req.algorithm, QueryStatus::kCancelled,
+                                     "service shutdown");
+        r.queue_seconds = queue_seconds;
+        return r;
+      }
+    }
+  } catch (const std::bad_alloc&) {
+    QueryResult r = unrun_result(req.algorithm, QueryStatus::kError,
+                                 "workspace allocation failed");
+    r.queue_seconds = queue_seconds;
+    return r;
+  }
+
+  GRIND_FAULT_STALL("service.worker-stall");
+
+  QueryResult r = execute(req, token, *lease, queue_depth());
+  lease.release();  // return the workspace before the future wakes waiters
+  r.queue_seconds = queue_seconds;
+  return r;
 }
 
 std::vector<QueryResult> GraphService::run_batch(
@@ -149,11 +275,23 @@ std::vector<QueryResult> GraphService::run_batch(
 
   struct BatchState {
     std::vector<QueryRequest> reqs;
+    std::vector<std::shared_ptr<sys::CancelToken>> tokens;
     std::vector<QueryResult> results;
   };
   auto state = std::make_shared<BatchState>();
   state->reqs = std::move(reqs);
   state->results.resize(state->reqs.size());
+  // Deadlines stamp at batch admission, one token per deadline/cancel-
+  // carrying request.
+  state->tokens.resize(state->reqs.size());
+  for (std::size_t i = 0; i < state->reqs.size(); ++i) {
+    QueryRequest& q = state->reqs[i];
+    std::shared_ptr<sys::CancelToken> t = q.cancel;
+    if (t == nullptr && q.deadline.count() > 0)
+      t = std::make_shared<sys::CancelToken>();
+    if (t != nullptr && q.deadline.count() > 0) t->set_deadline_in(q.deadline);
+    state->tokens[i] = std::move(t);
+  }
 
   std::vector<std::future<void>> slices;
   for (auto& [algo, indices] : groups) {
@@ -171,15 +309,72 @@ std::vector<QueryResult> GraphService::run_batch(
         mine.push_back(indices[k]);
       auto done = std::make_shared<std::promise<void>>();
       slices.push_back(done->get_future());
-      enqueue([this, state, done, mine = std::move(mine)] {
-        auto lease = pool_.acquire(preferred_domain());
+
+      Job job;
+      job.enqueued = Clock::now();
+      const auto enqueued = job.enqueued;
+      // Shed / cancelled without running: resolve the whole slice.
+      job.drop = [this, state, done, mine](QueryStatus st,
+                                           const std::string& why) {
         for (std::size_t i : mine) {
-          state->results[i] = execute(state->reqs[i], *lease);
+          state->results[i] =
+              unrun_result(state->reqs[i].algorithm, st, why);
           record(state->results[i]);
+        }
+        done->set_value();
+      };
+      job.run = [this, state, done, enqueued, mine = std::move(mine)] {
+        const double queue_seconds =
+            seconds_between(enqueued, Clock::now());
+        WorkspacePool::Lease lease;
+        bool alloc_failed = false;
+        try {
+          lease = pool_.acquire(preferred_domain());
+        } catch (const std::bad_alloc&) {
+          alloc_failed = true;  // fail the slice's queries, not the worker
+        }
+        for (std::size_t i : mine) {
+          const auto& token = state->tokens[i];
+          QueryResult& r = state->results[i];
+          if (alloc_failed) {
+            r = unrun_result(state->reqs[i].algorithm, QueryStatus::kError,
+                             "workspace allocation failed");
+          } else if (!lease.valid()) {
+            r = unrun_result(state->reqs[i].algorithm,
+                             QueryStatus::kCancelled, "service shutdown");
+          } else if (token != nullptr && token->should_stop()) {
+            r = unrun_result(state->reqs[i].algorithm,
+                             status_of(token->state()),
+                             token->state() ==
+                                     sys::CancelState::kDeadlineExceeded
+                                 ? "deadline exceeded in queue"
+                                 : "cancelled in queue");
+          } else {
+            r = execute(state->reqs[i], token, *lease, queue_depth());
+          }
+          r.queue_seconds = queue_seconds;
+          record(r);
         }
         lease.release();
         done->set_value();
-      });
+      };
+      // enqueue leaves `job` intact on both failure paths; job.drop holds
+      // its own copy of the slice's indices (`mine` moved into job.run).
+      bool admitted = false;
+      try {
+        admitted = enqueue(std::move(job));
+      } catch (const std::runtime_error&) {
+        // shutdown() landed between the entry check and this slice: cancel
+        // the slice like any other queued-at-shutdown work instead of
+        // throwing a half-dispatched batch at the caller.
+        job.drop(QueryStatus::kCancelled, "service shutdown");
+        continue;
+      }
+      if (!admitted) {
+        // Queue full: this slice is refused as a unit; its queries resolve
+        // kShed right here on the submitter's thread.
+        job.drop(QueryStatus::kShed, "queue full (max_queue_depth)");
+      }
     }
   }
   for (auto& f : slices) f.wait();
@@ -190,8 +385,10 @@ std::vector<QueryResult> GraphService::run_batch(
   return std::move(state->results);
 }
 
-QueryResult GraphService::execute(const QueryRequest& req,
-                                  engine::TraversalWorkspace& ws) const {
+QueryResult GraphService::execute(
+    const QueryRequest& req,
+    const std::shared_ptr<const sys::CancelToken>& token,
+    engine::TraversalWorkspace& ws, std::size_t depth_at_start) const {
   QueryResult r;
   r.algorithm = req.algorithm;
   // Registry dispatch: capability flags (needs_source), the parameter
@@ -202,25 +399,63 @@ QueryResult GraphService::execute(const QueryRequest& req,
   const algorithms::AlgorithmDesc* desc =
       algorithms::AlgorithmRegistry::instance().find(req.algorithm);
   if (desc == nullptr) {
+    r.status = QueryStatus::kError;
     r.error = "unknown algorithm: " + req.algorithm;
     return r;
   }
   Timer timer;
+  // The engine outlives the try so the catch handlers can read its sweep
+  // count — the partial-progress report of a cancelled query.
+  engine::Options opts = cfg_.engine;
+  opts.cancel = token;
+  engine::Engine eng(graph_, opts, ws);
   try {
     algorithms::Params params = req.params;
     if (desc->caps.needs_source && !params.has("source") &&
         default_source_ != kInvalidVertex)
       params.set("source", default_source_);
-    engine::Engine eng(graph_, cfg_.engine, ws);
+    // Overload policy: past the queue-depth watermark, clamp the iteration
+    // cap of iterative algorithms — degrade accuracy before availability.
+    if (cfg_.overload.queue_watermark > 0 && cfg_.overload.max_iterations > 0 &&
+        depth_at_start > cfg_.overload.queue_watermark) {
+      for (const char* key : kIterationKeys) {
+        const algorithms::ParamSpec* spec = desc->schema.find(key);
+        if (spec == nullptr) continue;
+        std::int64_t requested = cfg_.overload.max_iterations + 1;
+        if (params.has(key)) {
+          requested = params.get_int(key);
+        } else if (spec->default_value.has_value()) {
+          requested = std::get<std::int64_t>(*spec->default_value);
+        }
+        if (requested > cfg_.overload.max_iterations) {
+          params.set(key, cfg_.overload.max_iterations);
+          r.degraded = true;
+        }
+      }
+    }
     // run() resolves the schema first: unknown keys, wrong types and
     // out-of-range values (including the source, for *every* source-taking
     // algorithm) throw here and surface as r.error below.
     r.value = desc->run(eng, params);
+    r.iterations_done = eng.sweeps_done();
+  } catch (const sys::Cancelled& c) {
+    // Must precede the std::exception handler (Cancelled derives from
+    // runtime_error): a stopped query is a status, not an error class.
+    r.value = algorithms::AnyResult{};
+    r.status = status_of(c.why());
+    r.error = c.what();
+    r.iterations_done = eng.sweeps_done();
+  } catch (const std::bad_alloc&) {
+    r.value = algorithms::AnyResult{};
+    r.status = QueryStatus::kError;
+    r.error = "allocation failure during query execution";
   } catch (const std::exception& e) {
     r.value = algorithms::AnyResult{};
+    r.status = QueryStatus::kError;
     r.error = e.what();
   } catch (...) {
     r.value = algorithms::AnyResult{};
+    r.status = QueryStatus::kError;
     r.error = "unknown error";
   }
   r.seconds = timer.seconds();
@@ -230,7 +465,16 @@ QueryResult GraphService::execute(const QueryRequest& req,
 void GraphService::record(const QueryResult& r) {
   std::lock_guard<std::mutex> lock(stats_m_);
   ++stats_.queries_completed;
-  if (!r.ok()) ++stats_.queries_failed;
+  switch (r.status) {
+    case QueryStatus::kOk: break;
+    case QueryStatus::kError: ++stats_.queries_failed; break;
+    case QueryStatus::kShed: ++stats_.queries_shed; break;
+    case QueryStatus::kCancelled: ++stats_.queries_cancelled; break;
+    case QueryStatus::kDeadlineExceeded:
+      ++stats_.queries_deadline_exceeded;
+      break;
+  }
+  if (r.degraded) ++stats_.queries_degraded;
   stats_.busy_seconds += r.seconds;
 }
 

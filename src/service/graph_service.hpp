@@ -15,6 +15,25 @@
 // Validation (unknown algorithm, parameter schema, source range) is derived
 // from the registered descriptor, never from hand-kept lists.
 //
+// Robustness contract (docs/SERVICE.md "Query model"):
+//   * every future resolves, exactly once, with a structured
+//     QueryResult::status — a query can finish (kOk), fail (kError), hit its
+//     deadline or an external cancel mid-run (kDeadlineExceeded /
+//     kCancelled, with partial progress reported), or be refused under
+//     overload (kShed).  No code path hangs a future or throws through it;
+//   * deadlines are cooperative: the CancelToken rides engine::Options into
+//     every edge-map boundary poll, so all registered algorithms are
+//     cancellable with zero per-algorithm edits, and a deadline is honoured
+//     within one iteration boundary (one partition sweep for long single
+//     iterations);
+//   * admission control never blocks the submitter: a full queue sheds
+//     immediately (max_queue_depth), a stale queue entry sheds at dequeue
+//     (admission_timeout), and a worker waits at most lease_timeout for
+//     scratch (try_acquire_until) so it can never wedge on the pool;
+//   * past Overload::queue_watermark queued entries, iterative algorithms'
+//     iteration caps are clamped (degrading accuracy before availability);
+//     clamped results carry QueryResult::degraded.
+//
 // Thread-safety contract (docs/SERVICE.md):
 //   * the Graph is strictly read-only after construction — every layout
 //     accessor is const, and all lazily-computable state (partition chunk
@@ -39,16 +58,16 @@
 // many sources over one partitioned structure.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
-#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -57,36 +76,23 @@
 #include "engine/options.hpp"
 #include "graph/graph.hpp"
 #include "service/workspace_pool.hpp"
+#include "sys/cancel.hpp"
 #include "sys/types.hpp"
 
 namespace grind::service {
 
-/// DEPRECATED compatibility surface (one release): the eight Table-II
-/// workloads as a closed enum, from before the AlgorithmRegistry existed.
-/// New code addresses algorithms by paper code string; the registry is the
-/// single source of truth for names (`AlgorithmRegistry::instance()`).
-enum class Algorithm : std::uint8_t {
-  kBfs,
-  kCc,
-  kPageRank,
-  kPageRankDelta,
-  kBellmanFord,
-  kBc,
-  kSpmv,
-  kBeliefPropagation,
+/// How a query's future resolved.  Every future resolves with exactly one of
+/// these; `error` is non-empty for every status except kOk.
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,            ///< ran to completion; `value` holds the result
+  kError,             ///< validation or execution failure (see `error`)
+  kDeadlineExceeded,  ///< deadline hit; partial progress in iterations_done
+  kCancelled,         ///< external cancel or service shutdown
+  kShed,              ///< refused by admission control; never executed
 };
 
-/// DEPRECATED: paper code for the enum value; forwards to the registry
-/// entry's name.  Use QueryRequest::algorithm / AlgorithmDesc::name.
-[[deprecated("address algorithms by paper code string via the "
-             "AlgorithmRegistry")]] [[nodiscard]] const char*
-algorithm_name(Algorithm a);
-
-/// DEPRECATED: inverse of algorithm_name (std::nullopt on unknown codes).
-/// Use AlgorithmRegistry::instance().find(code).
-[[deprecated("address algorithms by paper code string via the "
-             "AlgorithmRegistry")]] [[nodiscard]] std::optional<Algorithm>
-parse_algorithm(std::string_view code);
+/// Stable lower-case label ("ok", "error", "deadline", "cancelled", "shed").
+[[nodiscard]] const char* to_string(QueryStatus s);
 
 /// One query: an algorithm paper code (registry lookup key) plus its typed
 /// parameters.  Source-taking algorithms read the "source" parameter
@@ -100,21 +106,35 @@ struct QueryRequest {
   std::string algorithm = "PR";
   algorithms::Params params;
 
+  /// Per-query deadline measured from submission — it covers queue wait as
+  /// well as execution, because a caller's latency budget does not pause
+  /// while the query sits in line.  Zero means no deadline.
+  std::chrono::milliseconds deadline{0};
+
+  /// Optional external cancellation handle.  Keep a reference and call
+  /// request_cancel() to stop the query cooperatively; the service creates
+  /// a private token when only a deadline is set.
+  std::shared_ptr<sys::CancelToken> cancel;
+
   QueryRequest() = default;
   explicit QueryRequest(std::string algo, algorithms::Params p = {})
       : algorithm(std::move(algo)), params(std::move(p)) {}
-  /// DEPRECATED enum shim (one release).
-  [[deprecated("construct with the paper code string")]] explicit QueryRequest(
-      Algorithm a);
 };
 
 struct QueryResult {
   std::string algorithm;          ///< paper code of the executed algorithm
-  algorithms::AnyResult value;    ///< empty when the query failed
+  QueryStatus status = QueryStatus::kOk;
+  algorithms::AnyResult value;    ///< empty unless status == kOk
   double seconds = 0.0;           ///< execution wall-clock (excludes queueing)
-  std::string error;              ///< non-empty ⇒ the query failed
+  double queue_seconds = 0.0;     ///< time spent waiting for a worker
+  /// Edge-map sweeps completed before the query finished or was cancelled —
+  /// the partial-progress report of a kDeadlineExceeded / kCancelled query.
+  int iterations_done = 0;
+  /// True when the overload policy clamped this query's iteration cap.
+  bool degraded = false;
+  std::string error;              ///< non-empty ⇔ status != kOk
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const { return status == QueryStatus::kOk; }
 };
 
 struct ServiceConfig {
@@ -129,12 +149,40 @@ struct ServiceConfig {
   int threads_per_query = 1;
   /// Engine options applied to every query's private Engine.
   engine::Options engine{};
+
+  /// Admission control: maximum queued (not yet running) entries before
+  /// submit() sheds instead of enqueueing.  0 = unbounded (no shedding).
+  std::size_t max_queue_depth = 0;
+  /// A queued entry older than this is shed at dequeue instead of executed —
+  /// when the tier is saturated, serving a stale query only makes every
+  /// queued one later.  0 = disabled.
+  std::chrono::milliseconds admission_timeout{0};
+  /// Longest a worker waits for a workspace lease before shedding the query
+  /// (kShed).  0 = wait indefinitely (bounded in practice by the query's
+  /// own deadline, which also caps the wait when set).
+  std::chrono::milliseconds lease_timeout{0};
+
+  /// Graceful degradation: when more than `queue_watermark` entries are
+  /// queued, iterative algorithms' iteration caps ("iterations",
+  /// "max_rounds") are clamped to `max_iterations` — the tier trades
+  /// accuracy for availability instead of queueing to death.  Disabled
+  /// unless both fields are positive.
+  struct Overload {
+    std::size_t queue_watermark = 0;
+    std::int64_t max_iterations = 0;
+  } overload;
 };
 
 /// Aggregate execution counters (snapshot via GraphService::stats()).
+/// queries_completed counts every resolved future regardless of status;
+/// the per-status counters partition the non-kOk remainder.
 struct ServiceStats {
   std::uint64_t queries_completed = 0;
-  std::uint64_t queries_failed = 0;
+  std::uint64_t queries_failed = 0;             ///< status == kError
+  std::uint64_t queries_shed = 0;               ///< status == kShed
+  std::uint64_t queries_cancelled = 0;          ///< status == kCancelled
+  std::uint64_t queries_deadline_exceeded = 0;  ///< status == kDeadlineExceeded
+  std::uint64_t queries_degraded = 0;           ///< overload-clamped queries
   std::uint64_t batches = 0;
   double busy_seconds = 0.0;  ///< summed per-query execution time
 };
@@ -152,35 +200,70 @@ class GraphService {
   /// The shared read-only graph.
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
 
-  /// Enqueue one query; the future resolves when a worker finishes it.
-  /// Query failures are reported in QueryResult::error, not as future
-  /// exceptions, so a batch of futures can be drained unconditionally.
+  /// Enqueue one query; the future resolves when a worker finishes it (or
+  /// immediately with kShed when the queue is full — submit never blocks on
+  /// a saturated tier).  All failures are reported in QueryResult::status,
+  /// not as future exceptions, so a batch of futures can be drained
+  /// unconditionally.  Throws only after shutdown().
   [[nodiscard]] std::future<QueryResult> submit(QueryRequest req);
 
   /// Execute a batch, grouping same-algorithm requests into per-worker
   /// slices that share one workspace lease each; blocks until every query
-  /// finishes and returns results in request order.  Must not be called
+  /// finishes and returns results in request order.  Slices refused by
+  /// admission control resolve their queries kShed.  Must not be called
   /// from inside a worker (it waits on the same queue it feeds).
   [[nodiscard]] std::vector<QueryResult> run_batch(
       std::vector<QueryRequest> reqs);
 
-  /// Drain the queue and join the workers (idempotent; the destructor calls
-  /// it).  Further submit()/run_batch() calls throw.
+  /// Stop the service: queries still queued resolve kCancelled, in-flight
+  /// queries run to completion, blocked pool waits wake, workers join.
+  /// Idempotent; the destructor calls it.  Further submit()/run_batch()
+  /// calls throw.
   void shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const WorkspacePool& pool() const { return pool_; }
+  /// Mutable pool access — robustness tests use it to starve workers by
+  /// holding external leases; production callers have no reason to.
+  [[nodiscard]] WorkspacePool& pool() { return pool_; }
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  /// Queued (not yet running) entries right now.
+  [[nodiscard]] std::size_t queue_depth() const;
   /// The source used by source-taking algorithms when the request has no
   /// "source" parameter (original-ID space).
   [[nodiscard]] vid_t default_source() const { return default_source_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One queue entry.  `run` executes the query; `drop` resolves its
+  /// future(s) with a terminal status *without* executing — the path taken
+  /// when the entry is shed at dequeue or stolen by shutdown().  Exactly one
+  /// of the two is invoked, exactly once.
+  struct Job {
+    std::function<void()> run;
+    std::function<void(QueryStatus, const std::string&)> drop;
+    Clock::time_point enqueued;
+  };
+
   void worker_loop(std::size_t index);
-  void enqueue(std::function<void()> job);
+  /// False when the queue is full — `job` is left intact so the caller can
+  /// invoke its drop handler.  Throws after shutdown.
+  [[nodiscard]] bool enqueue(Job&& job);
+  /// Lease a workspace under the query's deadline/lease-timeout bounds and
+  /// execute; produces the terminal QueryResult (never throws).
+  [[nodiscard]] QueryResult run_one(const QueryRequest& req,
+                                    const std::shared_ptr<sys::CancelToken>& token,
+                                    Clock::time_point enqueued);
   /// Run one query on a leased workspace (no locks held); never throws.
-  [[nodiscard]] QueryResult execute(const QueryRequest& req,
-                                    engine::TraversalWorkspace& ws) const;
+  [[nodiscard]] QueryResult execute(
+      const QueryRequest& req,
+      const std::shared_ptr<const sys::CancelToken>& token,
+      engine::TraversalWorkspace& ws, std::size_t depth_at_start) const;
+  /// A terminal result for a query that did not run (shed / cancelled).
+  [[nodiscard]] static QueryResult unrun_result(const std::string& algorithm,
+                                                QueryStatus status,
+                                                std::string why);
   void record(const QueryResult& r);
 
   graph::Graph graph_;
@@ -190,7 +273,7 @@ class GraphService {
 
   mutable std::mutex queue_m_;
   std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   bool stopping_ = false;
   std::mutex shutdown_m_;
   std::vector<std::thread> workers_;

@@ -23,15 +23,18 @@
 // most-recently-returned behaviour.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "engine/workspace.hpp"
+#include "sys/fault.hpp"
 
 namespace grind::service {
 
@@ -103,15 +106,50 @@ class WorkspacePool {
   /// changes *whether* a workspace is obtained, only which one.
   [[nodiscard]] Lease acquire(int domain = kAnyDomain) {
     std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [&] { return !idle_.empty() || created_ < cap_; });
+    cv_.wait(lock, [&] { return closed_ || !idle_.empty() || created_ < cap_; });
+    if (closed_) return Lease{};  // invalid: the pool is shutting down
     return take(lock, domain);
   }
 
-  /// Non-blocking check-out; std::nullopt when the pool is exhausted.
+  /// Non-blocking check-out; std::nullopt when the pool is exhausted (or
+  /// closed).
   [[nodiscard]] std::optional<Lease> try_acquire(int domain = kAnyDomain) {
     std::unique_lock<std::mutex> lock(m_);
-    if (idle_.empty() && created_ >= cap_) return std::nullopt;
+    if (closed_ || (idle_.empty() && created_ >= cap_)) return std::nullopt;
     return take(lock, domain);
+  }
+
+  /// Timed check-out: wait at most until `deadline` for a workspace.
+  /// std::nullopt on timeout or when the pool closes while waiting — so a
+  /// service worker can never wedge forever on a lease.
+  [[nodiscard]] std::optional<Lease> try_acquire_until(
+      std::chrono::steady_clock::time_point deadline,
+      int domain = kAnyDomain) {
+    std::unique_lock<std::mutex> lock(m_);
+    if (!cv_.wait_until(lock, deadline, [&] {
+          return closed_ || !idle_.empty() || created_ < cap_;
+        })) {
+      return std::nullopt;  // timed out
+    }
+    if (closed_) return std::nullopt;
+    return take(lock, domain);
+  }
+
+  /// Poison the pool for shutdown: every blocked acquire() wakes and returns
+  /// an invalid Lease, every timed wait returns std::nullopt, and future
+  /// check-outs fail immediately.  Outstanding leases may still check in
+  /// (their workspaces are simply retained for destruction).  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return closed_;
   }
 
   /// Maximum number of workspaces this pool will ever create.
@@ -154,18 +192,28 @@ class WorkspacePool {
         }
       }
       if (pick == idle_.size() && domain != kAnyDomain && created_ < cap_) {
-        ++created_;
-        return Lease(this, std::make_unique<engine::TraversalWorkspace>(),
-                     domain);
+        return Lease(this, create_workspace(), domain);
       }
       if (pick == idle_.size()) pick = idle_.size() - 1;
       ws = std::move(idle_[pick].ws);
       idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(pick));
     } else {
-      ws = std::make_unique<engine::TraversalWorkspace>();
-      ++created_;
+      ws = create_workspace();
     }
     return Lease(this, std::move(ws), domain);
+  }
+
+  // Creation may throw (std::bad_alloc; also the "pool.workspace-alloc"
+  // fault site).  created_ is incremented only after a successful create so
+  // a failed creation never leaks capacity: the slot stays claimable and the
+  // pool still reaches its full cap once memory pressure clears.  No notify
+  // is needed on the throw path — waiters only block when created_ == cap_,
+  // and this path runs only when created_ < cap_.
+  std::unique_ptr<engine::TraversalWorkspace> create_workspace() {
+    if (GRIND_FAULT_FIRE("pool.workspace-alloc")) throw std::bad_alloc();
+    auto ws = std::make_unique<engine::TraversalWorkspace>();
+    ++created_;
+    return ws;
   }
 
   void check_in(std::unique_ptr<engine::TraversalWorkspace> ws, int domain) {
@@ -180,6 +228,7 @@ class WorkspacePool {
   std::condition_variable cv_;
   std::vector<Idle> idle_;
   std::size_t created_ = 0;
+  bool closed_ = false;
   const std::size_t cap_;
 };
 

@@ -1,0 +1,98 @@
+// Cooperative cancellation: a token combining an external cancel flag with
+// an optional deadline, polled by the engine at iteration and partition-sweep
+// boundaries.
+//
+// The token is write-monotonic: `request_cancel()` latches forever and a
+// deadline, once set, only moves earlier in the sense that time advances
+// towards it.  That monotonicity is what makes the engine's polling protocol
+// sound — a kernel sweep that observed the token as runnable at entry can be
+// trusted as complete if (and only if) the token is still runnable when the
+// sweep returns; see engine/edge_map.hpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace grind::sys {
+
+/// Why a query stopped (or is about to stop).  `kRun` means keep going.
+enum class CancelState : std::uint8_t {
+  kRun = 0,
+  kCancelled,          ///< external request_cancel()
+  kDeadlineExceeded,   ///< deadline passed
+};
+
+/// Shared cancellation token.  Thread-safe: any thread may cancel or set a
+/// deadline while workers poll.  Cheap to poll (two relaxed atomic loads and
+/// a clock read only when a deadline is armed).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Latch the external cancel flag.  Irrevocable.
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm an absolute deadline.  A zero time_point disarms.
+  void set_deadline(Clock::time_point tp) noexcept {
+    deadline_ns_.store(tp.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+
+  /// Arm a deadline `d` from now.
+  template <class Rep, class Period>
+  void set_deadline_in(std::chrono::duration<Rep, Period> d) noexcept {
+    set_deadline(Clock::now() + std::chrono::duration_cast<Clock::duration>(d));
+  }
+
+  /// Absolute deadline, or a zero time_point when none is armed.
+  [[nodiscard]] Clock::time_point deadline() const noexcept {
+    return Clock::time_point(
+        Clock::duration(deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Current verdict.  External cancellation takes precedence over the
+  /// deadline so an operator kill is always reported as kCancelled.
+  [[nodiscard]] CancelState state() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return CancelState::kCancelled;
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != 0 && Clock::now().time_since_epoch().count() >= dl) {
+      return CancelState::kDeadlineExceeded;
+    }
+    return CancelState::kRun;
+  }
+
+  [[nodiscard]] bool should_stop() const noexcept {
+    return state() != CancelState::kRun;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // steady_clock epoch ns; 0 = none
+};
+
+/// Thrown by the engine when a poll point observes a stopped token.  Derives
+/// from runtime_error so legacy catch sites still see a message, but carries
+/// the structured reason so the service can map it to a status code.
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(CancelState why)
+      : std::runtime_error(why == CancelState::kDeadlineExceeded
+                               ? "deadline exceeded"
+                               : "cancelled"),
+        why_(why) {}
+
+  [[nodiscard]] CancelState why() const noexcept { return why_; }
+
+ private:
+  CancelState why_;
+};
+
+}  // namespace grind::sys

@@ -1,0 +1,100 @@
+#ifdef GRIND_FAULT_INJECT
+
+#include "sys/fault.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sys/rng.hpp"
+
+namespace grind::sys::fault {
+namespace {
+
+struct Site {
+  Spec spec;
+  SplitMix64 rng{0};
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+struct Registry {
+  std::mutex m;
+  std::map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Decide under the lock whether this hit fires.  Deterministic for a fixed
+// seed and hit sequence regardless of which threads deliver the hits.
+bool decide(Site& s) {
+  ++s.hits;
+  if (s.hits <= s.spec.after) return false;
+  if (s.spec.limit != 0 && s.fired >= s.spec.limit) return false;
+  if (s.spec.probability < 1.0) {
+    const double u =
+        static_cast<double>(s.rng.next() >> 11) * 0x1.0p-53;  // [0,1)
+    if (u >= s.spec.probability) return false;
+  }
+  ++s.fired;
+  return true;
+}
+
+}  // namespace
+
+void arm(const std::string& site, Spec spec) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  Site s;
+  s.spec = spec;
+  s.rng = SplitMix64(spec.seed);
+  reg.sites[site] = std::move(s);
+}
+
+void disarm_all() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  reg.sites.clear();
+}
+
+bool fire(const std::string& site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  return decide(it->second);
+}
+
+void stall(const std::string& site) {
+  std::uint32_t ms = 0;
+  {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return;
+    if (decide(it->second)) ms = it->second.spec.stall_ms;
+  }
+  if (ms != 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t hits(const std::string& site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t triggered(const std::string& site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fired;
+}
+
+}  // namespace grind::sys::fault
+
+#endif  // GRIND_FAULT_INJECT

@@ -15,7 +15,6 @@
 #include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
-#include "service/graph_service.hpp"
 
 namespace grind::algorithms {
 namespace {
@@ -38,24 +37,6 @@ TEST(Registry, NameLookupRoundTripsForEveryEntry) {
   }
   EXPECT_EQ(registry().find("NoSuchAlgorithm"), nullptr);
   EXPECT_THROW((void)registry().at("NoSuchAlgorithm"), std::invalid_argument);
-}
-
-TEST(Registry, LegacyEnumShimsRoundTripThroughTheRegistry) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  using service::Algorithm;
-  for (const Algorithm a :
-       {Algorithm::kBfs, Algorithm::kCc, Algorithm::kPageRank,
-        Algorithm::kPageRankDelta, Algorithm::kBellmanFord, Algorithm::kBc,
-        Algorithm::kSpmv, Algorithm::kBeliefPropagation}) {
-    const char* name = service::algorithm_name(a);
-    // The shim's names are registry names (single source of truth) …
-    EXPECT_NE(registry().find(name), nullptr) << name;
-    // … and parse(name(a)) == a for every enum value.
-    EXPECT_EQ(service::parse_algorithm(name), a) << name;
-  }
-  EXPECT_EQ(service::parse_algorithm("bogus"), std::nullopt);
-#pragma GCC diagnostic pop
 }
 
 TEST(Registry, CapabilityFlagsMatchTableTwo) {

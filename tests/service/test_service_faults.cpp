@@ -1,0 +1,231 @@
+// Fault-injection suite: arms sys/fault.hpp sites inside the service and
+// proves the robustness contract holds under every injected failure — no
+// deadlock, no leaked workspace lease, correct QueryStatus codes.  The CI
+// fault job runs this file under TSan with -DGRIND_FAULT_INJECT=ON; without
+// that definition the whole file compiles away.
+#ifdef GRIND_FAULT_INJECT
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "service/graph_service.hpp"
+#include "sys/cancel.hpp"
+#include "sys/fault.hpp"
+
+namespace grind::service {
+namespace {
+
+using std::chrono::milliseconds;
+
+graph::Graph build_test_graph() {
+  graph::BuildOptions opts;
+  opts.num_partitions = 8;
+  return graph::Graph::build(graph::rmat(9, 8, 2026), opts);
+}
+
+/// Every test leaves the registry clean for the next one.
+class ServiceFault : public ::testing::Test {
+ protected:
+  void TearDown() override { sys::fault::disarm_all(); }
+};
+
+TEST_F(ServiceFault, RegistryCountersAndScriptedTriggers) {
+  sys::fault::Spec spec;
+  spec.after = 2;   // skip the first two hits
+  spec.limit = 3;   // then fire exactly three times
+  sys::fault::arm("unit.site", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    if (sys::fault::fire("unit.site")) ++fired;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sys::fault::hits("unit.site"), 10u);
+  EXPECT_EQ(sys::fault::triggered("unit.site"), 3u);
+  // Unarmed sites never fire and count nothing.
+  EXPECT_FALSE(sys::fault::fire("unit.other"));
+  EXPECT_EQ(sys::fault::hits("unit.other"), 0u);
+  // Probability is seeded and deterministic: same seed → same decisions.
+  std::vector<bool> first;
+  for (int round = 0; round < 2; ++round) {
+    sys::fault::Spec p;
+    p.probability = 0.5;
+    p.seed = 42;
+    sys::fault::arm("unit.prob", p);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 32; ++i)
+      decisions.push_back(sys::fault::fire("unit.prob"));
+    if (round == 0) {
+      first = decisions;
+    } else {
+      EXPECT_EQ(decisions, first);
+    }
+  }
+}
+
+TEST_F(ServiceFault, WorkspaceAllocFailureFailsQueryWithoutLeakingCapacity) {
+  // The first workspace creation throws bad_alloc; the query must fail
+  // cleanly (kError) and the pool must NOT leak the capacity slot — the
+  // next query creates the workspace and succeeds.
+  sys::fault::Spec spec;
+  spec.limit = 1;
+  sys::fault::arm("pool.workspace-alloc", spec);
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  GraphService svc(build_test_graph(), cfg);
+
+  const QueryResult r = svc.submit(QueryRequest("CC")).get();
+  EXPECT_EQ(r.status, QueryStatus::kError);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+  EXPECT_EQ(svc.pool().created(), 0u);  // failed create claimed no slot
+
+  const QueryResult ok = svc.submit(QueryRequest("CC")).get();
+  EXPECT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(svc.pool().created(), 1u);
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+}
+
+TEST_F(ServiceFault, SlowWorkerStallTripsDeadline) {
+  // A 300 ms stall injected between lease acquisition and execution, against
+  // a 100 ms deadline: the query must resolve kDeadlineExceeded (the first
+  // engine poll observes the expired token) and release its lease.
+  sys::fault::Spec spec;
+  spec.stall_ms = 300;
+  spec.limit = 1;
+  sys::fault::arm("service.worker-stall", spec);
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  GraphService svc(build_test_graph(), cfg);
+
+  QueryRequest req("CC");
+  req.deadline = milliseconds(100);
+  const QueryResult r = svc.submit(std::move(req)).get();
+  EXPECT_EQ(r.status, QueryStatus::kDeadlineExceeded);
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+
+  // The stall was one-shot: the tier is healthy again.
+  const QueryResult ok = svc.submit(QueryRequest("CC")).get();
+  EXPECT_TRUE(ok.ok()) << ok.error;
+}
+
+TEST_F(ServiceFault, MidQueryCancelViaEnginePollSite) {
+  // "engine.poll-cancel" fires on the Nth edge-map boundary poll, forcing a
+  // deterministic mid-run cancel with no timing dependence.  PR polls twice
+  // per iteration (edge_map entry + post-sweep); firing on hit 7 stops the
+  // run after exactly 3 completed sweeps.
+  sys::fault::Spec spec;
+  spec.after = 6;
+  spec.limit = 1;
+  sys::fault::arm("engine.poll-cancel", spec);
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  GraphService svc(build_test_graph(), cfg);
+
+  QueryRequest req("PR");
+  req.params.set("iterations", 50);
+  // The fault site only fires when a token is being polled; any live token
+  // (deadline far in the future) switches polling on.
+  req.cancel = std::make_shared<sys::CancelToken>();
+  const QueryResult r = svc.submit(std::move(req)).get();
+  EXPECT_EQ(r.status, QueryStatus::kCancelled);
+  EXPECT_EQ(r.iterations_done, 3);
+  EXPECT_TRUE(r.value.empty());
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+}
+
+TEST_F(ServiceFault, ChaosSweepLeavesNoLeakedLeasesOrHungFutures) {
+  // Probabilistic chaos: every site armed at once — allocation failures,
+  // stalls, forced cancels — under a concurrent query mix.  The invariants:
+  // every future resolves, every lease returns, the status partition adds
+  // up, and (under the CI TSan job) no data race.
+  {
+    sys::fault::Spec alloc;
+    alloc.probability = 0.3;
+    alloc.seed = 7;
+    sys::fault::arm("pool.workspace-alloc", alloc);
+    sys::fault::Spec stall;
+    stall.probability = 0.2;
+    stall.stall_ms = 5;
+    stall.seed = 11;
+    sys::fault::arm("service.worker-stall", stall);
+    sys::fault::Spec poll;
+    poll.probability = 0.05;
+    poll.seed = 13;
+    sys::fault::arm("engine.poll-cancel", poll);
+  }
+
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.pool_capacity = 2;      // half the workers contend for leases
+  cfg.max_queue_depth = 16;
+  cfg.lease_timeout = milliseconds(200);
+  GraphService svc(build_test_graph(), cfg);
+
+  std::vector<std::future<QueryResult>> futs;
+  for (int i = 0; i < 64; ++i) {
+    QueryRequest req(i % 2 == 0 ? "CC" : "PR");
+    if (i % 3 == 0) req.deadline = milliseconds(500);
+    if (i % 5 == 0) req.cancel = std::make_shared<sys::CancelToken>();
+    futs.push_back(svc.submit(std::move(req)));
+  }
+
+  std::uint64_t resolved = 0;
+  for (auto& f : futs) {
+    const QueryResult r = f.get();  // must not hang
+    ++resolved;
+    if (!r.ok()) EXPECT_FALSE(r.error.empty()) << to_string(r.status);
+  }
+  EXPECT_EQ(resolved, 64u);
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.queries_completed, 64u);
+  // Status counters partition the failures.
+  EXPECT_LE(st.queries_failed + st.queries_shed + st.queries_cancelled +
+                st.queries_deadline_exceeded,
+            64u);
+
+  sys::fault::disarm_all();
+  // Faults off: the tier recovers completely.
+  const QueryResult ok = svc.submit(QueryRequest("CC")).get();
+  EXPECT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(svc.pool().in_use(), 0u);
+}
+
+TEST_F(ServiceFault, ShutdownUnderChaosNeverHangs) {
+  sys::fault::Spec stall;
+  stall.probability = 0.5;
+  stall.stall_ms = 10;
+  stall.seed = 3;
+  sys::fault::arm("service.worker-stall", stall);
+
+  std::vector<std::future<QueryResult>> futs;
+  {
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.pool_capacity = 1;
+    GraphService svc(build_test_graph(), cfg);
+    for (int i = 0; i < 16; ++i)
+      futs.push_back(svc.submit(QueryRequest("CC")));
+    svc.shutdown();  // steals the queue, closes the pool, joins workers
+  }
+  for (auto& f : futs) {
+    const QueryResult r = f.get();  // resolved, not dropped
+    EXPECT_TRUE(r.ok() || r.status == QueryStatus::kCancelled)
+        << to_string(r.status) << ": " << r.error;
+  }
+}
+
+}  // namespace
+}  // namespace grind::service
+
+#endif  // GRIND_FAULT_INJECT

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <map>
@@ -306,6 +307,71 @@ TEST(ServiceStress, RunBatchAfterShutdownThrows) {
   EXPECT_THROW((void)svc.run_batch(std::move(reqs)), std::runtime_error);
 }
 
+TEST(ServiceStress, QueriesQueuedAtShutdownResolveCancelled) {
+  // The shutdown contract: entries still queued when shutdown() runs are
+  // cancelled, not executed — and never hung or dropped.  One worker wedged
+  // on a hostage workspace lease guarantees the three submissions below are
+  // still queued (or blocked on the pool) when shutdown fires.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  GraphService svc(build_test_graph(), cfg);
+  auto hostage = svc.pool().acquire();
+
+  std::vector<std::future<QueryResult>> futs;
+  for (int i = 0; i < 3; ++i) futs.push_back(svc.submit(make_request("CC")));
+
+  svc.shutdown();  // must not hang despite the hostage lease
+
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    const QueryResult r = f.get();
+    EXPECT_EQ(r.status, QueryStatus::kCancelled);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_TRUE(r.value.empty());
+  }
+  EXPECT_EQ(svc.stats().queries_cancelled, 3u);
+  hostage.release();
+}
+
+TEST(ServiceStress, ShutdownCancelsQueuedBatchSlices) {
+  // run_batch slices queued at shutdown resolve kCancelled instead of
+  // leaving the batch caller waiting forever.  The batch runs on a second
+  // thread (it blocks); shutdown fires while its slices sit behind the
+  // hostage lease.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  GraphService svc(build_test_graph(), cfg);
+  auto hostage = svc.pool().acquire();
+
+  // Wedge the worker first: it pops this query, then blocks acquiring the
+  // hostage-held workspace — so the batch slice below stays queued.
+  auto first = svc.submit(make_request("CC"));
+  while (svc.queue_depth() > 0) std::this_thread::yield();
+
+  auto batch = std::async(std::launch::async, [&] {
+    std::vector<QueryRequest> reqs(4, make_request("CC"));
+    return svc.run_batch(std::move(reqs));
+  });
+  while (svc.queue_depth() == 0) std::this_thread::yield();
+
+  svc.shutdown();
+  hostage.release();
+
+  EXPECT_EQ(first.get().status, QueryStatus::kCancelled);
+
+  ASSERT_EQ(batch.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  const auto results = batch.get();
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, QueryStatus::kCancelled) << to_string(r.status);
+    EXPECT_TRUE(r.value.empty());
+  }
+}
+
 TEST(ServiceStress, WorksUnderNonIdentityOrdering) {
   // Results speak original IDs regardless of the internal relabeling, so a
   // service over a Hilbert-ordered graph must agree with the identity run.
@@ -320,26 +386,6 @@ TEST(ServiceStress, WorksUnderNonIdentityOrdering) {
     EXPECT_EQ(a.value.as<algorithms::BfsResult>().level,
               b.value.as<algorithms::BfsResult>().level);
   }
-}
-
-TEST(ServiceStress, DeprecatedEnumShimsStillResolveThroughRegistry) {
-  // One-release compatibility surface: the enum constructor and the
-  // name/parse shims forward to the registry.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_STREQ(algorithm_name(Algorithm::kBc), "BC");
-  EXPECT_STREQ(algorithm_name(Algorithm::kBeliefPropagation), "BP");
-  EXPECT_EQ(parse_algorithm("PRDelta"), Algorithm::kPageRankDelta);
-  EXPECT_EQ(parse_algorithm("nope"), std::nullopt);
-  // Registered post-enum algorithms have no enum value — parse refuses.
-  EXPECT_EQ(parse_algorithm("KCore"), std::nullopt);
-
-  GraphService svc(build_test_graph());
-  const auto r = svc.submit(QueryRequest(Algorithm::kCc)).get();
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(r.ok()) << r.error;
-  EXPECT_EQ(r.algorithm, "CC");
-  EXPECT_GT(r.value.as<algorithms::CcResult>().num_components, 0u);
 }
 
 TEST(ServiceStress, NewlyRegisteredAlgorithmIsServableWithoutServiceEdits) {

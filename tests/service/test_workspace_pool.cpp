@@ -178,6 +178,65 @@ TEST(ServiceWorkspacePool, DomainPreferenceNeverBlocksWhenIdleExists) {
   EXPECT_TRUE(l->valid());
 }
 
+TEST(ServiceWorkspacePool, TimedAcquireTimesOutOnExhaustedPool) {
+  WorkspacePool pool(1);
+  auto held = pool.acquire();
+  const auto before = std::chrono::steady_clock::now();
+  auto l = pool.try_acquire_until(before + std::chrono::milliseconds(30));
+  EXPECT_FALSE(l.has_value());
+  // It actually waited (rather than returning instantly like try_acquire).
+  EXPECT_GE(std::chrono::steady_clock::now() - before,
+            std::chrono::milliseconds(25));
+}
+
+TEST(ServiceWorkspacePool, TimedAcquireSucceedsWhenReleasedInTime) {
+  WorkspacePool pool(1);
+  auto held = pool.acquire();
+  auto releaser = std::async(std::launch::async, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    held.release();
+  });
+  auto l = pool.try_acquire_until(std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(30));
+  releaser.wait();
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(l->valid());
+}
+
+TEST(ServiceWorkspacePool, TimedAcquireInThePastActsLikeTryAcquire) {
+  WorkspacePool pool(1);
+  // Idle capacity: an already-expired deadline still gets a workspace.
+  auto l = pool.try_acquire_until(std::chrono::steady_clock::now() -
+                                  std::chrono::seconds(1));
+  ASSERT_TRUE(l.has_value());
+  // Exhausted: it fails immediately instead of waiting.
+  EXPECT_FALSE(pool
+                   .try_acquire_until(std::chrono::steady_clock::now() -
+                                      std::chrono::seconds(1))
+                   .has_value());
+}
+
+TEST(ServiceWorkspacePool, CloseWakesBlockedAcquireWithInvalidLease) {
+  WorkspacePool pool(1);
+  auto held = pool.acquire();
+  auto waiter = std::async(std::launch::async, [&] {
+    auto l = pool.acquire();  // blocks; must wake on close, not on release
+    return l.valid();
+  });
+  EXPECT_EQ(waiter.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  pool.close();
+  EXPECT_FALSE(waiter.get());
+  // Post-close check-outs fail fast; check-in of the survivor is harmless.
+  EXPECT_FALSE(pool.try_acquire().has_value());
+  EXPECT_FALSE(pool
+                   .try_acquire_until(std::chrono::steady_clock::now() +
+                                      std::chrono::seconds(1))
+                   .has_value());
+  held.release();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
 TEST(ServiceWorkspacePool, ManyThreadsNeverExceedCap) {
   constexpr std::size_t kCap = 3;
   WorkspacePool pool(kCap);

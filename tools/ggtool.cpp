@@ -12,6 +12,7 @@
 //                   [--domains D] [--no-atomics]
 //   ggtool serve    <graph> [--clients N] [--pool-cap N] [--queries N]
 //                   [--script FILE] [--threads-per-query T]
+//                   [--deadline-ms MS] [--max-queue N]
 //                   [--partitions N] [--order O] [--domains D]
 //
 // Algorithms are addressed by their registry paper code (`ggtool algos`
@@ -25,7 +26,11 @@
 // serve executes a query script concurrently through a GraphService with
 // --clients worker threads.  Script lines are "ALGO [source] [k=v ...]"
 // (one query per line, '#' comments); without --script a default mixed
-// workload of --queries queries is generated.
+// workload of --queries queries is generated.  --deadline-ms stamps every
+// query with a deadline; --max-queue caps the admission queue so overload
+// sheds instead of buffering.  The summary breaks results down by status
+// (ok/error/deadline/cancelled/shed) and serve exits 2 if any query
+// resolved non-ok.
 //
 // --source and all printed vertex ids are in the input file's (original) ID
 // space; --order selects the internal vertex relabeling applied by the
@@ -39,6 +44,7 @@
 // format (.bin).  Exit code 0 on success, 1 on usage errors, 2 on runtime
 // failures.
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -112,8 +118,9 @@ int usage() {
              "    D = logical NUMA domains of the build (default 4)\n"
              "  ggtool serve <graph> [--clients N] [--pool-cap N] "
              "[--queries N] [--script FILE]\n"
-             "               [--threads-per-query T] [--partitions N] "
-             "[--order O] [--domains D]\n"
+             "               [--threads-per-query T] [--deadline-ms MS] "
+             "[--max-queue N]\n"
+             "               [--partitions N] [--order O] [--domains D]\n"
              "    script lines: \"ALGO [source] [k=v ...]\"\n";
   return 1;
 }
@@ -480,6 +487,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   service::ServiceConfig cfg;
   std::size_t queries = 64;
   std::string script_path;
+  std::chrono::milliseconds deadline{0};
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -495,6 +503,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       script_path = next();
     } else if (a == "--threads-per-query") {
       cfg.threads_per_query = std::stoi(next());
+    } else if (a == "--deadline-ms") {
+      deadline = std::chrono::milliseconds(std::stol(next()));
+    } else if (a == "--max-queue") {
+      cfg.max_queue_depth = std::stoul(next());
     } else if (a == "--partitions") {
       bopts.num_partitions = static_cast<part_t>(std::stoul(next()));
     } else if (a == "--order") {
@@ -556,15 +568,21 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::vector<std::future<service::QueryResult>> futures;
   futures.reserve(reqs.size());
   Timer wall;
-  for (auto& req : reqs) futures.push_back(svc.submit(std::move(req)));
+  for (auto& req : reqs) {
+    if (deadline.count() > 0) req.deadline = deadline;
+    futures.push_back(svc.submit(std::move(req)));
+  }
   std::map<std::string, std::size_t> per_algo;
+  std::map<std::string, std::size_t> per_status;
   std::size_t failed = 0;
   for (auto& f : futures) {
     const auto r = f.get();
     ++per_algo[r.algorithm];
+    ++per_status[service::to_string(r.status)];
     if (!r.ok()) {
       ++failed;
-      std::cerr << "query failed: " << r.algorithm << ": " << r.error << "\n";
+      std::cerr << "query " << service::to_string(r.status) << ": "
+                << r.algorithm << ": " << r.error << "\n";
     }
   }
   const double elapsed = wall.seconds();
@@ -581,7 +599,13 @@ int cmd_serve(const std::vector<std::string>& args) {
   t.row({"threads per query", Table::num(std::size_t{
              static_cast<std::size_t>(cfg.threads_per_query)})});
   t.row({"queries", Table::num(st.queries_completed)});
-  t.row({"failed", Table::num(failed)});
+  for (const auto& [label, count] : per_status)
+    t.row({std::string("  status ") + label, Table::num(count)});
+  if (deadline.count() > 0)
+    t.row({"deadline [ms]", Table::num(static_cast<std::size_t>(
+               deadline.count()))});
+  if (cfg.max_queue_depth > 0)
+    t.row({"max queue depth", Table::num(cfg.max_queue_depth)});
   t.row({"wall time [s]", Table::num(elapsed, 3)});
   t.row({"throughput [queries/s]",
          Table::num(elapsed > 0 ? static_cast<double>(st.queries_completed) /
