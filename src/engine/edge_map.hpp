@@ -20,6 +20,7 @@
 #include "engine/traverse_coo.hpp"
 #include "engine/traverse_csc.hpp"
 #include "engine/traverse_csr.hpp"
+#include "engine/traverse_pcpm.hpp"
 #include "engine/traverse_pcsr.hpp"
 #include "engine/workspace.hpp"
 #include "frontier/frontier.hpp"
@@ -45,7 +46,17 @@ inline void poll_cancel(const sys::CancelToken* token) {
 
 /// Pick the traversal kind for frontier weight `w` on a graph of `m` edges.
 /// Exposed separately so tests can probe the decision thresholds directly.
-inline TraversalKind decide_traversal(eid_t w, eid_t m, const Options& opts) {
+///
+/// `pcpm_capable` is whether the partition-centric scatter-gather kernel is
+/// admissible for this call — the operator models ScatterGatherOperator
+/// *and* the graph carries message bins (edge_map computes it; it defaults
+/// to false so threshold probes ask about the classic three-way decision).
+/// When capable, non-sparse frontiers above the Options::pcpm_fraction cut
+/// of edge-oriented algorithms take the binned path; a forced
+/// Layout::kPcpm without capability degrades to the dense COO, so sweeps
+/// may force the layout uniformly across operators.
+inline TraversalKind decide_traversal(eid_t w, eid_t m, const Options& opts,
+                                      bool pcpm_capable = false) {
   if (opts.layout == Layout::kSparseCsr) return TraversalKind::kSparseCsr;
   const auto sparse_cut =
       static_cast<double>(m) * opts.sparse_fraction;  // |E|/20
@@ -58,10 +69,18 @@ inline TraversalKind decide_traversal(eid_t w, eid_t m, const Options& opts) {
       return TraversalKind::kDenseCoo;
     case Layout::kPartitionedCsr:
       return TraversalKind::kPartitionedCsr;
+    case Layout::kPcpm:
+      return pcpm_capable ? TraversalKind::kPcpm : TraversalKind::kDenseCoo;
     case Layout::kAuto:
     case Layout::kSparseCsr:
       break;
   }
+  // PCPM cut (checked before the medium/dense split so ablations can push
+  // the binned mode down into the medium band): two sequential sweeps only
+  // beat one random-write sweep when enough of the graph is active.
+  if (pcpm_capable && opts.orientation == Orientation::kEdge &&
+      static_cast<double>(w) > static_cast<double>(m) * opts.pcpm_fraction)
+    return TraversalKind::kPcpm;
   if (static_cast<double>(w) <= dense_cut) return TraversalKind::kBackwardCsc;
   // Dense frontier: COO for edge-oriented algorithms; vertex-oriented ones
   // stay on the backward CSC (§IV-A's empirical classification).
@@ -106,18 +125,21 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
   poll_cancel(token);
   if (f.empty()) return Frontier::empty(g.num_vertices());
 
-  const TraversalKind kind =
-      decide_traversal(f.traversal_weight(), g.num_edges(), opts);
+  const bool pcpm_capable = ScatterGatherOperator<Op> && g.has_pcpm_bins();
+  const TraversalKind kind = decide_traversal(f.traversal_weight(),
+                                              g.num_edges(), opts,
+                                              pcpm_capable);
   const bool atomics = decide_atomics(g, opts);
 
   Timer timer;
   eid_t edges = 0;
   Frontier out;
   bool used_atomics = false;
+  std::uint64_t bin_bytes = 0;  // PCPM message traffic of this call
   AffineCounts affinity;  // home/stolen split of the partition schedulers
   switch (kind) {
     case TraversalKind::kSparseCsr:
-      out = traverse_csr_sparse(g, f, op, &edges, ws);
+      out = traverse_csr_sparse(g, f, op, &edges, ws, opts.prefetch);
       used_atomics = true;  // sparse forward inherently uses update_atomic
       break;
     case TraversalKind::kBackwardCsc: {
@@ -126,7 +148,7 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
               ? g.partitioning_vertices()
               : g.partitioning_edges();
       out = traverse_csc_backward(g, f, op, ranges, &edges, ws, &affinity,
-                                  token);
+                                  token, opts.prefetch);
       used_atomics = false;  // backward is single-writer by construction
       break;
     }
@@ -138,6 +160,16 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
       out = traverse_partitioned_csr(g, f, op, atomics, &edges, ws, &affinity,
                                      token);
       used_atomics = atomics;
+      break;
+    case TraversalKind::kPcpm:
+      // Guarded if-constexpr: decide_traversal only returns kPcpm when the
+      // operator models the concept, but the non-SG instantiations of this
+      // function still need the call to type-check away.
+      if constexpr (ScatterGatherOperator<Op>) {
+        out = traverse_pcpm(g, f, op, &edges, ws, &affinity, token,
+                            &bin_bytes);
+        used_atomics = false;  // destination partitions are single-writer
+      }
       break;
   }
 
@@ -152,6 +184,7 @@ Frontier edge_map(const graph::Graph& g, Frontier& f, Op op,
   if (stats != nullptr) {
     stats->record(kind, timer.seconds(), edges, used_atomics);
     stats->record_affinity(affinity);
+    if (bin_bytes != 0) stats->record_pcpm_bytes(bin_bytes);
   }
   return out;
 }

@@ -223,6 +223,9 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
   }
   const eid_t w = static_cast<eid_t>(f.num_active()) + in_deg;
 
+  // No pcpm_capable here: the message bins index forward flow (destination-
+  // partition consumers), so the transpose decision stays three-way and a
+  // forced Layout::kPcpm degrades through kDenseCoo to the backward gather.
   TraversalKind kind = decide_traversal(w, g.num_edges(), opts);
   if (kind == TraversalKind::kPartitionedCsr)
     kind = TraversalKind::kDenseCoo;  // pruned CSR has no transpose form
@@ -255,6 +258,7 @@ Frontier edge_map_transpose(const graph::Graph& g, Frontier& f, Op op,
     }
     case TraversalKind::kDenseCoo:
     case TraversalKind::kPartitionedCsr:
+    case TraversalKind::kPcpm:  // unreachable (remapped above); keeps -Wswitch
       // Transpose-COO has no home-domain story (partitions own the *reader*
       // side here), so it stays on plain dynamic scheduling and reports no
       // affinity.

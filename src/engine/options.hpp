@@ -20,6 +20,7 @@ enum class Layout {
   kBackwardCsc,     ///< always backward over whole CSC, partitioned ranges
   kDenseCoo,        ///< always partitioned COO
   kPartitionedCsr,  ///< always partitioned pruned CSR (Fig 5 "CSR" curves)
+  kPcpm,            ///< always partition-centric scatter-gather message bins
 };
 
 /// Atomics policy for the partition-parallel kernels ("+a" / "+na" in the
@@ -56,6 +57,19 @@ struct Options {
   /// otherwise medium-dense.
   double sparse_fraction = 0.05;  // |E|/20
   double dense_fraction = 0.50;   // |E|/2
+
+  /// PCPM cut: a dense, edge-oriented frontier of weight > pcpm_fraction·|E|
+  /// is routed to the partition-centric scatter-gather kernel, provided the
+  /// operator decomposes into scatter/gather and the graph carries message
+  /// bins (graph/graph.hpp BuildOptions::build_pcpm_bins).  Defaults to the
+  /// dense cut, so every PCPM-eligible dense frontier takes the binned path;
+  /// bench_ablation_density_thresholds sweeps it.
+  double pcpm_fraction = 0.50;
+
+  /// Software prefetch in the CSR sparse-forward and CSC backward inner
+  /// loops (__builtin_prefetch of upcoming neighbor/offset entries).  A
+  /// knob rather than a constant so the ablation bench can measure it.
+  bool prefetch = true;
 
   /// Balance criterion for the CSC computation range (§III-D): edge-oriented
   /// algorithms balance edges, vertex-oriented ones balance vertices.
@@ -106,7 +120,11 @@ enum class TraversalKind : std::uint8_t {
   kBackwardCsc = 1,
   kDenseCoo = 2,
   kPartitionedCsr = 3,
+  kPcpm = 4,
 };
+
+/// Number of TraversalKind values (sizes the per-kind stats arrays).
+inline constexpr std::size_t kNumTraversalKinds = 5;
 
 /// Human-readable kernel name ("sparse-csr", ...).
 std::string to_string(TraversalKind k);
@@ -114,11 +132,12 @@ std::string to_string(Layout l);
 
 /// Aggregated engine statistics, one counter set per kernel.
 struct TraversalStats {
-  std::uint64_t calls[4] = {};
-  double seconds[4] = {};
-  std::uint64_t edges_examined[4] = {};
+  std::uint64_t calls[kNumTraversalKinds] = {};
+  double seconds[kNumTraversalKinds] = {};
+  std::uint64_t edges_examined[kNumTraversalKinds] = {};
   std::uint64_t atomic_rounds = 0;     ///< traversals that used atomics
   std::uint64_t nonatomic_rounds = 0;  ///< traversals that elided atomics
+  std::uint64_t pcpm_bin_bytes = 0;    ///< message bytes scattered + gathered
   AffineCounts affinity;               ///< home/stolen split, partition kernels
 
   void record(TraversalKind k, double secs, std::uint64_t edges,
@@ -131,6 +150,21 @@ struct TraversalStats {
   }
 
   void record_affinity(const AffineCounts& c) { affinity.merge(c); }
+
+  void record_pcpm_bytes(std::uint64_t bytes) { pcpm_bin_bytes += bytes; }
+
+  /// Per-kind sweep count / time — lets ablation output attribute runtime
+  /// to the kernel that actually ran (a forced dense layout still sends
+  /// sparse frontiers through the CSR path).
+  [[nodiscard]] std::uint64_t calls_for(TraversalKind k) const {
+    return calls[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] double seconds_for(TraversalKind k) const {
+    return seconds[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t edges_for(TraversalKind k) const {
+    return edges_examined[static_cast<std::size_t>(k)];
+  }
 
   /// Fraction of partition/chunk visits served by a home-domain thread;
   /// 1.0 when no partition-scheduled traversal has run yet.
@@ -152,7 +186,9 @@ struct TraversalStats {
   }
 
   [[nodiscard]] std::uint64_t total_calls() const {
-    return calls[0] + calls[1] + calls[2] + calls[3];
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kNumTraversalKinds; ++i) total += calls[i];
+    return total;
   }
 };
 

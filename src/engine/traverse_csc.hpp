@@ -46,17 +46,25 @@ inline const std::vector<VertexRange>& csc_sub_chunks(
   return ranges.sub_chunks();
 }
 
+/// Lookahead distance (in edges) of the backward gather's frontier-word
+/// prefetch: the inner loop's demand miss is `in.get(s)` — one random
+/// bitmap word per in-edge — so the word of the source `kCscPrefetchDist`
+/// slots ahead is prefetched while the current edges are applied.
+inline constexpr std::size_t kCscPrefetchDist = 8;
+
 template <EdgeOperator Op>
 Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
                                const partition::Partitioning& ranges,
                                eid_t* edges_examined,
                                TraversalWorkspace* ws = nullptr,
                                AffineCounts* affinity = nullptr,
-                               const sys::CancelToken* cancel = nullptr) {
+                               const sys::CancelToken* cancel = nullptr,
+                               bool prefetch = false) {
   f.to_dense(ws);
   const auto& csc = g.csc();
   const NumaModel& numa = g.numa();
   const Bitmap& in = f.bitmap();
+  const std::uint64_t* in_words = in.words();
   Bitmap next =
       ws != nullptr ? ws->acquire_bitmap(g.num_vertices()) : Bitmap(g.num_vertices());
   const std::vector<VertexRange>& chunks = ranges.sub_chunks();
@@ -91,6 +99,8 @@ Frontier traverse_csc_backward(const graph::Graph& g, Frontier& f, Op& op,
           const auto wts = csc.weights(d);
           for (std::size_t j = 0; j < neigh.size(); ++j) {
             ++local_edges;
+            if (prefetch && j + kCscPrefetchDist < neigh.size())
+              __builtin_prefetch(&in_words[neigh[j + kCscPrefetchDist] >> 6]);
             const vid_t s = neigh[j];
             if (!in.get(s)) continue;
             if (op.update(s, d, wts[j])) next.set(d);

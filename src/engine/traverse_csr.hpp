@@ -24,12 +24,24 @@
 
 namespace grind::engine {
 
+/// Lookahead distance (in edges) of the software-prefetch path — far enough
+/// to cover a memory round-trip at one edge per few cycles, near enough to
+/// stay inside the typical active row.
+inline constexpr std::size_t kCsrPrefetchDist = 16;
+
+/// `prefetch`, when set (Options::prefetch via edge_map), issues
+/// __builtin_prefetch for the *next* active source's row bounds in the
+/// outer loop and for upcoming target entries in the inner loop — the two
+/// demand-miss streams of the sparse push: row starts are random (sparse
+/// list order) and the target array is only sequential within a row.
 template <EdgeOperator Op>
 Frontier traverse_csr_sparse(const graph::Graph& g, Frontier& f, Op& op,
                              eid_t* edges_examined,
-                             TraversalWorkspace* ws = nullptr) {
+                             TraversalWorkspace* ws = nullptr,
+                             bool prefetch = false) {
   f.to_sparse(ws);
   const auto& csr = g.csr();
+  const auto offsets = csr.offsets();
   const auto verts = f.vertices();
   const int nt = num_threads();
 
@@ -52,10 +64,14 @@ Frontier traverse_csr_sparse(const graph::Graph& g, Frontier& f, Op& op,
 #pragma omp for schedule(dynamic, 16) nowait
     for (std::size_t i = 0; i < verts.size(); ++i) {
       const vid_t s = verts[i];
+      if (prefetch && i + 1 < verts.size())
+        __builtin_prefetch(&offsets[verts[i + 1]]);
       const auto neigh = csr.neighbors(s);
       const auto wts = csr.weights(s);
       local_edges += neigh.size();
       for (std::size_t j = 0; j < neigh.size(); ++j) {
+        if (prefetch && j + kCsrPrefetchDist < neigh.size())
+          __builtin_prefetch(&neigh[j + kCsrPrefetchDist]);
         const vid_t d = neigh[j];
         if (op.cond(d) && op.update_atomic(s, d, wts[j])) buf.push_back(d);
       }

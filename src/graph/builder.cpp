@@ -55,7 +55,7 @@ GraphBuilder& GraphBuilder::with_ordering(VertexOrdering o) {
     }
     opts_.ordering = o;
     order_done_ = partition_done_ = index_done_ = coo_done_ = pcsr_done_ =
-        false;
+        pcpm_done_ = false;
   }
   return *this;
 }
@@ -64,7 +64,7 @@ GraphBuilder& GraphBuilder::with_partitions(part_t p) {
   if (requested_partitions_ != p) {
     requested_partitions_ = p;
     opts_.num_partitions = p;
-    partition_done_ = coo_done_ = pcsr_done_ = false;
+    partition_done_ = coo_done_ = pcsr_done_ = pcpm_done_ = false;
     // The CSR/CSC arrays themselves survive a partition change, but their
     // page placement follows partition boundaries and must be redone.
     index_placed_ = false;
@@ -82,6 +82,11 @@ GraphBuilder& GraphBuilder::with_coo_order(partition::EdgeOrder o) {
 
 GraphBuilder& GraphBuilder::with_partitioned_csr(bool on) {
   opts_.build_partitioned_csr = on;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::with_pcpm_bins(bool on) {
+  opts_.build_pcpm_bins = on;
   return *this;
 }
 
@@ -163,6 +168,16 @@ GraphBuilder& GraphBuilder::layouts() {
     pcsr_.reset();
     pcsr_done_ = false;
   }
+  if (opts_.build_pcpm_bins) {
+    if (!pcpm_done_) {
+      pcpm_ = std::make_unique<partition::PcpmBins>(
+          partition::PcpmBins::build(el_, part_edges_, &numa_));
+      pcpm_done_ = true;
+    }
+  } else {
+    pcpm_.reset();
+    pcpm_done_ = false;
+  }
   return *this;
 }
 
@@ -187,11 +202,13 @@ Graph GraphBuilder::build() & {
   g.part_vertices_ = part_vertices_;
   g.coo_ = coo_;
   if (pcsr_) g.pcsr_ = std::make_unique<partition::PartitionedCsr>(*pcsr_);
+  if (pcpm_) g.pcpm_ = std::make_unique<partition::PcpmBins>(*pcpm_);
   g.numa_ = numa_;
   // The copies above sit in fresh buffers the builder's page placement did
   // not follow; re-bind them so a graph from the reusable lvalue path is
-  // placed like one from the moving path.  (The pruned CSR needs no help:
-  // its DomainVectors copy through their domain's allocator.)
+  // placed like one from the moving path.  (The pruned CSR and PCPM bins
+  // need no help: their DomainVectors copy through their domain's
+  // allocator.)
   g.coo_.bind_domains(numa_);
   place_csr_domains(g.csr_, g.part_edges_, numa_);
   place_csr_domains(g.csc_, g.part_edges_, numa_);
@@ -210,6 +227,7 @@ Graph GraphBuilder::build() && {
   g.part_vertices_ = std::move(part_vertices_);
   g.coo_ = std::move(coo_);
   g.pcsr_ = std::move(pcsr_);
+  g.pcpm_ = std::move(pcpm_);
   g.numa_ = numa_;
   return g;
 }

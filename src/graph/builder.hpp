@@ -43,6 +43,7 @@ class GraphBuilder {
   GraphBuilder& with_partitions(part_t p);
   GraphBuilder& with_coo_order(partition::EdgeOrder o);
   GraphBuilder& with_partitioned_csr(bool on);
+  GraphBuilder& with_pcpm_bins(bool on);
 
   // ---- stages (idempotent; each runs its prerequisites) ----
   GraphBuilder& order();
@@ -80,6 +81,7 @@ class GraphBuilder {
   Csr csc_;
   partition::PartitionedCoo coo_;
   std::unique_ptr<partition::PartitionedCsr> pcsr_;
+  std::unique_ptr<partition::PcpmBins> pcpm_;
 
   bool order_done_ = false;
   bool partition_done_ = false;
@@ -87,6 +89,7 @@ class GraphBuilder {
   bool index_placed_ = false;  // their page placement, per current partitioning
   bool coo_done_ = false;
   bool pcsr_done_ = false;
+  bool pcpm_done_ = false;
 };
 
 }  // namespace grind::graph

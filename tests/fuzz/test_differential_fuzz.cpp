@@ -113,7 +113,8 @@ Knobs make_knobs(std::mt19937_64& rng) {
   static constexpr vid_t kAligns[] = {8, 64};
   static constexpr engine::Layout kLayouts[] = {
       engine::Layout::kAuto, engine::Layout::kBackwardCsc,
-      engine::Layout::kDenseCoo, engine::Layout::kPartitionedCsr};
+      engine::Layout::kDenseCoo, engine::Layout::kPartitionedCsr,
+      engine::Layout::kPcpm};
   static constexpr engine::AtomicsMode kAtomics[] = {
       engine::AtomicsMode::kAuto, engine::AtomicsMode::kForceOn,
       engine::AtomicsMode::kForceOff};
@@ -168,6 +169,9 @@ TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
     bopts.numa_domains = k.domains;
     bopts.build_partitioned_csr =
         k.layout == engine::Layout::kPartitionedCsr;
+    // Scatter-gather-capable algorithms take the message-bin path under
+    // a forced kPcpm; the rest degrade through the kDenseCoo remap.
+    bopts.build_pcpm_bins = k.layout == engine::Layout::kPcpm;
     const graph::Graph g = graph::Graph::build(graph::EdgeList(el), bopts);
 
     engine::Options eopts;

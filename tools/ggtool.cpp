@@ -6,7 +6,7 @@
 //   ggtool stats    <graph>
 //   ggtool partition-report <graph> <partitions> [domains]
 //   ggtool run      <ALGO> <graph>
-//                   [--partitions N] [--layout auto|csc|coo|pcsr]
+//                   [--partitions N] [--layout auto|csc|coo|pcsr|pcpm]
 //                   [--order original|degree|hilbert|child]
 //                   [--source V] [--param k=v]... [--threads T]
 //                   [--domains D] [--no-atomics]
@@ -114,6 +114,7 @@ int usage() {
          "    algo = " +
              algo_codes_line() +
              " (see `ggtool algos`)\n"
+             "    L = auto|csc|coo|pcsr|pcpm (traversal layout)\n"
              "    O = original|degree|hilbert|child (vertex reordering)\n"
              "    D = logical NUMA domains of the build (default 4)\n"
              "  ggtool serve <graph> [--clients N] [--pool-cap N] "
@@ -313,6 +314,7 @@ int cmd_run(const std::vector<std::string>& args) {
       else if (l == "csc") eopts.layout = engine::Layout::kBackwardCsc;
       else if (l == "coo") eopts.layout = engine::Layout::kDenseCoo;
       else if (l == "pcsr") eopts.layout = engine::Layout::kPartitionedCsr;
+      else if (l == "pcpm") eopts.layout = engine::Layout::kPcpm;
       else return usage();
     } else if (a == "--order") {
       const auto o = graph::parse_ordering(next());
@@ -367,6 +369,7 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   bopts.build_partitioned_csr =
       eopts.layout == engine::Layout::kPartitionedCsr;
+  bopts.build_pcpm_bins = eopts.layout == engine::Layout::kPcpm;
 
   auto el = load_any(path);
   Timer build_timer;
