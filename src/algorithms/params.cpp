@@ -1,5 +1,7 @@
 #include "algorithms/params.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -252,6 +254,48 @@ std::string ParamSchema::summary() const {
     } else {
       os << "[]";
     }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Bit-exact real rendering: the hex of the IEEE-754 bit pattern.  Plain
+/// decimal formatting would either round (collisions between distinct
+/// values) or depend on locale/precision flags; the bit pattern is the
+/// value, byte for byte.  Negative zero and every NaN payload render
+/// distinctly, which errs on the side of a cache miss — the safe direction.
+void append_real_bits(std::ostringstream& os, double v) {
+  os << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
+}
+
+}  // namespace
+
+std::string canonical_fingerprint(const Params& p) {
+  // Sort key *indices*, not entries: entries hold vectors we should not copy.
+  std::vector<std::size_t> order(p.entries().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p.entries()[a].key < p.entries()[b].key;
+  });
+  std::ostringstream os;
+  for (std::size_t i : order) {
+    const Params::Entry& e = p.entries()[i];
+    os << e.key << '=';
+    if (const auto* iv = std::get_if<std::int64_t>(&e.value)) {
+      os << 'i' << *iv;
+    } else if (const auto* rv = std::get_if<double>(&e.value)) {
+      os << 'r';
+      append_real_bits(os, *rv);
+    } else {
+      const auto& vec = std::get<std::vector<double>>(e.value);
+      os << 'v' << vec.size();
+      for (double d : vec) {
+        os << ',';
+        append_real_bits(os, d);
+      }
+    }
+    os << ';';
   }
   return os.str();
 }

@@ -107,6 +107,17 @@ struct ParamSpec {
                                   double max_value);
 [[nodiscard]] ParamSpec spec_vec(std::string key, std::string doc);
 
+/// Stable canonical fingerprint of a parameter bag: entries sorted by key
+/// (Params preserves insertion order, so two bags with the same content but
+/// different construction order fingerprint identically), values rendered
+/// type-tagged and bit-exact (reals as the hex of their IEEE-754 bit
+/// pattern — "0.1 + 0.2" and "0.3" fingerprint differently, exactly as the
+/// algorithms would see them).  Intended for cache keys over
+/// *schema-resolved* bags (service::ResultCache): resolution fills every
+/// defaulted key, so an explicit "iterations=10" and an absent key with
+/// default 10 resolve — and therefore fingerprint — the same.
+[[nodiscard]] std::string canonical_fingerprint(const Params& p);
+
 /// The declared parameter set of one algorithm.
 class ParamSchema {
  public:

@@ -38,10 +38,12 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <typeindex>
 #include <unordered_map>
 #include <vector>
@@ -60,17 +62,29 @@ namespace grind::algorithms {
 /// struct (BfsResult, PageRankResult, …); consumers that know the type
 /// recover it with as<T>(), generic consumers use the descriptor's
 /// summarize hook.
+///
+/// The payload is immutable and shared: copying an AnyResult is a refcount
+/// bump, never a deep copy of a |V|-sized result vector.  That is what lets
+/// service::ResultCache hand the *same* stored result to every cache hit —
+/// hits are bit-identical to the run that populated the entry by
+/// construction (id() exposes the shared payload's identity so tests can
+/// assert exactly that).
 class AnyResult {
  public:
   AnyResult() = default;
-  template <typename T>
-  AnyResult(T v) : value_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<T>, AnyResult>>>
+  AnyResult(T v)  // NOLINT(google-explicit-constructor)
+      : value_(std::make_shared<const std::any>(std::move(v))) {}
 
-  [[nodiscard]] bool empty() const { return !value_.has_value(); }
+  [[nodiscard]] bool empty() const {
+    return value_ == nullptr || !value_->has_value();
+  }
 
   template <typename T>
   [[nodiscard]] const T& as() const {
-    const T* p = std::any_cast<T>(&value_);
+    const T* p = try_as<T>();
     if (p == nullptr)
       throw std::runtime_error("AnyResult: held type is not the requested one");
     return *p;
@@ -78,11 +92,16 @@ class AnyResult {
 
   template <typename T>
   [[nodiscard]] const T* try_as() const {
-    return std::any_cast<T>(&value_);
+    return value_ == nullptr ? nullptr : std::any_cast<T>(value_.get());
   }
 
+  /// Identity of the shared payload (nullptr when empty).  Two AnyResults
+  /// with equal id() hold the *same* object — the cache-hit bit-identity
+  /// assertion, with no per-type equality needed.
+  [[nodiscard]] const void* id() const { return value_.get(); }
+
  private:
-  std::any value_;
+  std::shared_ptr<const std::any> value_;
 };
 
 /// What an algorithm needs from its inputs and guarantees about its output.

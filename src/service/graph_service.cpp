@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <new>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -45,18 +46,64 @@ const char* to_string(QueryStatus s) {
 }
 
 GraphService::GraphService(graph::Graph g, ServiceConfig cfg)
-    : graph_(std::move(g)),
-      cfg_(cfg),
+    : cfg_(cfg),
+      catalog_(GraphCatalog::Config{cfg.catalog_byte_budget}),
+      cache_(ResultCache::Config{cfg.result_cache_capacity}),
       pool_(cfg.pool_capacity != 0 ? cfg.pool_capacity
                                    : std::max<std::size_t>(1, cfg.workers)) {
   if (cfg_.workers == 0) cfg_.workers = 1;
-  // Resolve shared defaults eagerly: queries must never be the first to
-  // compute state reachable from the shared graph.
-  if (graph_.num_vertices() > 0)
-    default_source_ = graph_.max_out_degree_source();
+  // Load eagerly under the default name: the entry resolves the per-graph
+  // default source at load, so queries are never the first to compute
+  // state reachable from the shared graph.  The handle pins the entry for
+  // the service lifetime.
+  default_handle_ = catalog_.load(kDefaultGraphName, std::move(g));
+  start_workers();
+}
+
+GraphService::GraphService(ServiceConfig cfg)
+    : cfg_(cfg),
+      catalog_(GraphCatalog::Config{cfg.catalog_byte_budget}),
+      cache_(ResultCache::Config{cfg.result_cache_capacity}),
+      pool_(cfg.pool_capacity != 0 ? cfg.pool_capacity
+                                   : std::max<std::size_t>(1, cfg.workers)) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  start_workers();
+}
+
+void GraphService::start_workers() {
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+const graph::Graph& GraphService::graph() const {
+  if (default_handle_ == nullptr)
+    throw std::logic_error(
+        "GraphService: no default graph (catalog-only service)");
+  return default_handle_->graph();
+}
+
+std::uint64_t GraphService::load_graph(const std::string& name,
+                                       graph::Graph g) {
+  return catalog_.load(name, std::move(g))->epoch();
+}
+
+GraphCatalog::EvictOutcome GraphService::evict_graph(const std::string& name) {
+  const GraphCatalog::EvictOutcome outcome = catalog_.evict(name);
+  // Cached results for the unlinked graph are dead either way — a reload
+  // gets a fresh (never-reused) epoch — so return their memory now instead
+  // of waiting for LRU aging.
+  if (outcome != GraphCatalog::EvictOutcome::kNotFound)
+    cache_.purge_graph(name);
+  return outcome;
+}
+
+std::uint64_t GraphService::bump_epoch(const std::string& name) {
+  return catalog_.bump_epoch(name);
+}
+
+std::vector<GraphCatalog::Info> GraphService::list_graphs() const {
+  return catalog_.list();
 }
 
 GraphService::~GraphService() { shutdown(); }
@@ -90,14 +137,19 @@ void GraphService::worker_loop(std::size_t index) {
   // threads_per_query-wide inner parallelism, so k workers never
   // oversubscribe beyond k·threads_per_query.
   ThreadLimitGuard limit(cfg_.threads_per_query);
-  // Pin the worker round-robin to the graph's NUMA domains: its traversals
-  // start from its home domain's partitions, its pool leases prefer scratch
-  // warm on that domain, and under a physical libnuma backend the OS thread
-  // is bound to the node holding those partitions' arenas.
-  const NumaModel& numa = graph_.numa();
-  DomainPinGuard pin(
-      numa.domain_of_thread(static_cast<int>(index),
-                            static_cast<int>(cfg_.workers)));
+  // Pin the worker round-robin to the default graph's NUMA domains: its
+  // traversals start from its home domain's partitions, its pool leases
+  // prefer scratch warm on that domain, and under a physical libnuma
+  // backend the OS thread is bound to the node holding those partitions'
+  // arenas.  A catalog-only service leaves workers unpinned — resident
+  // graphs may disagree on domain count, and pinning to one of them would
+  // be arbitrary.
+  std::optional<DomainPinGuard> pin;
+  if (default_handle_ != nullptr) {
+    const NumaModel& numa = default_handle_->graph().numa();
+    pin.emplace(numa.domain_of_thread(static_cast<int>(index),
+                                      static_cast<int>(cfg_.workers)));
+  }
   for (;;) {
     Job job;
     {
@@ -147,10 +199,72 @@ QueryResult GraphService::unrun_result(const std::string& algorithm,
   return r;
 }
 
+const std::string& GraphService::graph_name_of(const QueryRequest& req) {
+  static const std::string kDefault = kDefaultGraphName;
+  return req.graph.empty() ? kDefault : req.graph;
+}
+
+bool GraphService::prepare(const QueryRequest& req, Prepared* out,
+                           QueryResult* early) {
+  const std::string& name = graph_name_of(req);
+  out->entry = catalog_.find(name);
+  if (out->entry == nullptr) {
+    *early = unrun_result(req.algorithm, QueryStatus::kError,
+                          "unknown graph: " + name);
+    return false;
+  }
+  out->desc = algorithms::AlgorithmRegistry::instance().find(req.algorithm);
+  if (out->desc == nullptr) {
+    *early = unrun_result(req.algorithm, QueryStatus::kError,
+                          "unknown algorithm: " + req.algorithm);
+    return false;
+  }
+  try {
+    algorithms::Params params = req.params;
+    // The *target graph's* default source, resolved once at load — never a
+    // service-wide default that would serve the wrong vertex on a second
+    // graph.
+    if (out->desc->caps.needs_source && !params.has("source") &&
+        out->entry->default_source() != kInvalidVertex)
+      params.set("source", out->entry->default_source());
+    // Full schema resolution up front: defaults filled, ranges (including
+    // the source, against *this* graph) checked.  The resolved bag is what
+    // the run will see and what the cache key fingerprints.
+    out->resolved = out->desc->resolve(params, out->entry->graph());
+  } catch (const std::exception& e) {
+    *early = unrun_result(req.algorithm, QueryStatus::kError, e.what());
+    return false;
+  }
+  if (cache_.enabled() && out->desc->caps.deterministic) {
+    out->key = ResultCache::Key{name, out->entry->epoch(), out->desc->name,
+                                algorithms::canonical_fingerprint(out->resolved)};
+    out->cacheable = true;
+    if (std::optional<algorithms::AnyResult> hit = cache_.get(out->key)) {
+      // Served on the submitter's thread: no queue slot, no workspace
+      // lease, the shared payload the populating run produced.
+      QueryResult r;
+      r.algorithm = req.algorithm;
+      r.value = std::move(*hit);
+      r.cached = true;
+      *early = std::move(r);
+      return false;
+    }
+  }
+  return true;
+}
+
+void GraphService::maybe_cache(const Prepared& prep, const QueryResult& r) {
+  // Degraded runs are approximations under a clamped iteration cap — never
+  // serve them to callers who asked for the real thing.
+  if (prep.cacheable && r.status == QueryStatus::kOk && !r.degraded)
+    cache_.put(prep.key, r.value);
+}
+
 std::future<QueryResult> GraphService::submit(QueryRequest req) {
   auto request = std::make_shared<QueryRequest>(std::move(req));
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> fut = promise->get_future();
+  const std::string gname = graph_name_of(*request);
 
   // The deadline clock starts at admission: queue wait counts against it.
   std::shared_ptr<sys::CancelToken> token = request->cancel;
@@ -159,17 +273,37 @@ std::future<QueryResult> GraphService::submit(QueryRequest req) {
   if (token != nullptr && request->deadline.count() > 0)
     token->set_deadline_in(request->deadline);
 
+  // Resolve {graph, algorithm, params} and probe the cache before
+  // queueing: validation failures and cache hits resolve right here on the
+  // submitter's thread, consuming neither a queue slot nor (for hits) a
+  // workspace lease.  The Prepared entry handle pins the graph across the
+  // queue wait, so an evict/reload landing mid-queue cannot yank it.
+  auto prep = std::make_shared<Prepared>();
+  {
+    QueryResult early;
+    if (!prepare(*request, prep.get(), &early)) {
+      record(early, gname);
+      promise->set_value(std::move(early));
+      return fut;
+    }
+  }
+
   Job job;
   job.enqueued = Clock::now();
   const auto enqueued = job.enqueued;
-  job.drop = [this, request, promise](QueryStatus st, const std::string& why) {
+  job.drop = [this, request, promise, gname,
+              enqueued](QueryStatus st, const std::string& why) {
     QueryResult r = unrun_result(request->algorithm, st, why);
-    record(r);
+    // The real queue wait, not 0: admission-timeout sheds and
+    // cancelled-in-queue resolutions are exactly the tail the latency
+    // percentiles exist to expose.
+    r.queue_seconds = seconds_between(enqueued, Clock::now());
+    record(r, gname);
     promise->set_value(std::move(r));
   };
-  job.run = [this, request, promise, token, enqueued] {
-    QueryResult r = run_one(*request, token, enqueued);
-    record(r);
+  job.run = [this, prep, promise, token, gname, enqueued] {
+    QueryResult r = run_one(*prep, token, enqueued);
+    record(r, gname);
     promise->set_value(std::move(r));
   };
   if (!enqueue(std::move(job))) {
@@ -177,37 +311,22 @@ std::future<QueryResult> GraphService::submit(QueryRequest req) {
     // control must never block the caller.
     QueryResult r = unrun_result(request->algorithm, QueryStatus::kShed,
                                  "queue full (max_queue_depth)");
-    record(r);
+    record(r, gname);
     promise->set_value(std::move(r));
   }
   return fut;
 }
 
-QueryResult GraphService::run_one(
-    const QueryRequest& req, const std::shared_ptr<sys::CancelToken>& token,
-    Clock::time_point enqueued) {
-  const Clock::time_point start = Clock::now();
-  const double queue_seconds = seconds_between(enqueued, start);
-
-  // The deadline may already have passed while the query sat in line.
-  if (token != nullptr) {
-    const sys::CancelState s = token->state();
-    if (s != sys::CancelState::kRun) {
-      QueryResult r = unrun_result(req.algorithm, status_of(s),
-                                   s == sys::CancelState::kDeadlineExceeded
-                                       ? "deadline exceeded in queue"
-                                       : "cancelled in queue");
-      r.queue_seconds = queue_seconds;
-      return r;
-    }
-  }
-
+bool GraphService::acquire_lease(const std::string& algorithm,
+                                 const std::shared_ptr<sys::CancelToken>& token,
+                                 Clock::time_point start,
+                                 WorkspacePool::Lease* lease,
+                                 QueryResult* failure) {
   // Lease scratch warm on this worker's domain, waiting no longer than the
   // query's own deadline and the configured lease timeout allow.  Lazy
   // workspace creation can throw bad_alloc (real memory pressure, or the
   // "pool.workspace-alloc" fault site) — that fails this query, never the
   // worker; the unclaimed capacity slot stays available for later queries.
-  WorkspacePool::Lease lease;
   const bool token_deadline = token != nullptr && token->has_deadline();
   try {
     if (token_deadline || cfg_.lease_timeout.count() > 0) {
@@ -217,40 +336,69 @@ QueryResult GraphService::run_one(
         until = std::min(until, start + cfg_.lease_timeout);
       auto opt = pool_.try_acquire_until(until, preferred_domain());
       if (!opt.has_value()) {
-        QueryResult r =
+        *failure =
             pool_.closed()
-                ? unrun_result(req.algorithm, QueryStatus::kCancelled,
+                ? unrun_result(algorithm, QueryStatus::kCancelled,
                                "service shutdown")
                 : (token != nullptr && token->should_stop()
-                       ? unrun_result(req.algorithm, status_of(token->state()),
+                       ? unrun_result(algorithm, status_of(token->state()),
                                       "deadline exceeded waiting for workspace")
-                       : unrun_result(req.algorithm, QueryStatus::kShed,
+                       : unrun_result(algorithm, QueryStatus::kShed,
                                       "workspace lease timeout"));
-        r.queue_seconds = queue_seconds;
-        return r;
+        return false;
       }
-      lease = std::move(*opt);
+      *lease = std::move(*opt);
     } else {
-      lease = pool_.acquire(preferred_domain());
-      if (!lease.valid()) {
+      *lease = pool_.acquire(preferred_domain());
+      if (!lease->valid()) {
         // The pool was closed by shutdown() while we waited.
-        QueryResult r = unrun_result(req.algorithm, QueryStatus::kCancelled,
-                                     "service shutdown");
-        r.queue_seconds = queue_seconds;
-        return r;
+        *failure = unrun_result(algorithm, QueryStatus::kCancelled,
+                                "service shutdown");
+        return false;
       }
     }
   } catch (const std::bad_alloc&) {
-    QueryResult r = unrun_result(req.algorithm, QueryStatus::kError,
-                                 "workspace allocation failed");
-    r.queue_seconds = queue_seconds;
-    return r;
+    *failure = unrun_result(algorithm, QueryStatus::kError,
+                            "workspace allocation failed");
+    return false;
+  }
+  return true;
+}
+
+QueryResult GraphService::run_one(
+    const Prepared& prep, const std::shared_ptr<sys::CancelToken>& token,
+    Clock::time_point enqueued) {
+  const Clock::time_point start = Clock::now();
+  const double queue_seconds = seconds_between(enqueued, start);
+  const std::string& algorithm = prep.desc->name;
+
+  // The deadline may already have passed while the query sat in line.
+  if (token != nullptr) {
+    const sys::CancelState s = token->state();
+    if (s != sys::CancelState::kRun) {
+      QueryResult r = unrun_result(algorithm, status_of(s),
+                                   s == sys::CancelState::kDeadlineExceeded
+                                       ? "deadline exceeded in queue"
+                                       : "cancelled in queue");
+      r.queue_seconds = queue_seconds;
+      return r;
+    }
+  }
+
+  WorkspacePool::Lease lease;
+  {
+    QueryResult failure;
+    if (!acquire_lease(algorithm, token, start, &lease, &failure)) {
+      failure.queue_seconds = queue_seconds;
+      return failure;
+    }
   }
 
   GRIND_FAULT_STALL("service.worker-stall");
 
-  QueryResult r = execute(req, token, *lease, queue_depth());
+  QueryResult r = execute(prep, token, *lease, queue_depth());
   lease.release();  // return the workspace before the future wakes waiters
+  maybe_cache(prep, r);
   r.queue_seconds = queue_seconds;
   return r;
 }
@@ -267,20 +415,16 @@ std::vector<QueryResult> GraphService::run_batch(
   }
   if (reqs.empty()) return {};
 
-  // Group request indices by algorithm, keeping request order inside each
-  // group so results land back at their original positions.
-  std::map<std::string, std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < reqs.size(); ++i)
-    groups[reqs[i].algorithm].push_back(i);
-
   struct BatchState {
     std::vector<QueryRequest> reqs;
     std::vector<std::shared_ptr<sys::CancelToken>> tokens;
+    std::vector<Prepared> prepared;
     std::vector<QueryResult> results;
   };
   auto state = std::make_shared<BatchState>();
   state->reqs = std::move(reqs);
   state->results.resize(state->reqs.size());
+  state->prepared.resize(state->reqs.size());
   // Deadlines stamp at batch admission, one token per deadline/cancel-
   // carrying request.
   state->tokens.resize(state->reqs.size());
@@ -291,6 +435,22 @@ std::vector<QueryResult> GraphService::run_batch(
       t = std::make_shared<sys::CancelToken>();
     if (t != nullptr && q.deadline.count() > 0) t->set_deadline_in(q.deadline);
     state->tokens[i] = std::move(t);
+  }
+
+  // Prepare every request up front (pinning its graph across the queue
+  // wait) and group the survivors by algorithm, keeping request order
+  // inside each group so results land back at their original positions.
+  // Validation failures and cache hits resolve right here and never join a
+  // slice.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < state->reqs.size(); ++i) {
+    QueryResult early;
+    if (prepare(state->reqs[i], &state->prepared[i], &early)) {
+      groups[state->reqs[i].algorithm].push_back(i);
+    } else {
+      state->results[i] = std::move(early);
+      record(state->results[i], graph_name_of(state->reqs[i]));
+    }
   }
 
   std::vector<std::future<void>> slices;
@@ -313,47 +473,50 @@ std::vector<QueryResult> GraphService::run_batch(
       Job job;
       job.enqueued = Clock::now();
       const auto enqueued = job.enqueued;
-      // Shed / cancelled without running: resolve the whole slice.
-      job.drop = [this, state, done, mine](QueryStatus st,
-                                           const std::string& why) {
+      // Shed / cancelled without running: resolve the whole slice, with the
+      // real queue wait stamped (admission-timeout sheds and shutdown
+      // steals are the tail the percentiles exist to expose).
+      job.drop = [this, state, done, enqueued, mine](QueryStatus st,
+                                                     const std::string& why) {
+        const double queue_seconds = seconds_between(enqueued, Clock::now());
         for (std::size_t i : mine) {
           state->results[i] =
               unrun_result(state->reqs[i].algorithm, st, why);
-          record(state->results[i]);
+          state->results[i].queue_seconds = queue_seconds;
+          record(state->results[i], graph_name_of(state->reqs[i]));
         }
         done->set_value();
       };
       job.run = [this, state, done, enqueued, mine = std::move(mine)] {
-        const double queue_seconds =
-            seconds_between(enqueued, Clock::now());
+        // One lease serves the whole slice, but it is acquired through the
+        // same deadline/lease_timeout-bounded path as run_one — an
+        // exhausted pool sheds or deadline-fails each query instead of
+        // wedging the worker on an untimed acquire.  On a lease failure the
+        // *next* query retries: its own deadline may still have room, and
+        // after a bad_alloc the unclaimed capacity slot stays claimable.
         WorkspacePool::Lease lease;
-        bool alloc_failed = false;
-        try {
-          lease = pool_.acquire(preferred_domain());
-        } catch (const std::bad_alloc&) {
-          alloc_failed = true;  // fail the slice's queries, not the worker
-        }
         for (std::size_t i : mine) {
           const auto& token = state->tokens[i];
           QueryResult& r = state->results[i];
-          if (alloc_failed) {
-            r = unrun_result(state->reqs[i].algorithm, QueryStatus::kError,
-                             "workspace allocation failed");
-          } else if (!lease.valid()) {
-            r = unrun_result(state->reqs[i].algorithm,
-                             QueryStatus::kCancelled, "service shutdown");
-          } else if (token != nullptr && token->should_stop()) {
+          // Per-query stamp at *this* query's execution start: later
+          // queries in the slice really did wait behind the earlier ones
+          // holding the shared lease, and their queue_seconds must say so.
+          const Clock::time_point query_start = Clock::now();
+          if (token != nullptr && token->should_stop()) {
             r = unrun_result(state->reqs[i].algorithm,
                              status_of(token->state()),
                              token->state() ==
                                      sys::CancelState::kDeadlineExceeded
                                  ? "deadline exceeded in queue"
                                  : "cancelled in queue");
-          } else {
-            r = execute(state->reqs[i], token, *lease, queue_depth());
+          } else if (lease.valid() ||
+                     acquire_lease(state->reqs[i].algorithm, token,
+                                   query_start, &lease, &r)) {
+            r = execute(state->prepared[i], token, *lease, queue_depth());
+            maybe_cache(state->prepared[i], r);
           }
-          r.queue_seconds = queue_seconds;
-          record(r);
+          r.queue_seconds = seconds_between(enqueued, query_start);
+          record(r, graph_name_of(state->reqs[i]));
         }
         lease.release();
         done->set_value();
@@ -386,40 +549,29 @@ std::vector<QueryResult> GraphService::run_batch(
 }
 
 QueryResult GraphService::execute(
-    const QueryRequest& req,
+    const Prepared& prep,
     const std::shared_ptr<const sys::CancelToken>& token,
     engine::TraversalWorkspace& ws, std::size_t depth_at_start) const {
   QueryResult r;
-  r.algorithm = req.algorithm;
-  // Registry dispatch: capability flags (needs_source), the parameter
-  // schema, and the runner all come from the registered descriptor, so an
-  // algorithm registered anywhere in the library is servable here with no
-  // edits.  The lookup is one scan of a ~10-entry table per query; the
-  // per-iteration traversal hot path never touches the registry.
-  const algorithms::AlgorithmDesc* desc =
-      algorithms::AlgorithmRegistry::instance().find(req.algorithm);
-  if (desc == nullptr) {
-    r.status = QueryStatus::kError;
-    r.error = "unknown algorithm: " + req.algorithm;
-    return r;
-  }
+  r.algorithm = prep.desc->name;
   Timer timer;
   // The engine outlives the try so the catch handlers can read its sweep
-  // count — the partial-progress report of a cancelled query.
+  // count — the partial-progress report of a cancelled query.  The graph
+  // is the query's pinned catalog entry: valid for as long as this runs,
+  // whatever the catalog did meanwhile.
   engine::Options opts = cfg_.engine;
   opts.cancel = token;
-  engine::Engine eng(graph_, opts, ws);
+  engine::Engine eng(prep.entry->graph(), opts, ws);
   try {
-    algorithms::Params params = req.params;
-    if (desc->caps.needs_source && !params.has("source") &&
-        default_source_ != kInvalidVertex)
-      params.set("source", default_source_);
+    // prepare() already resolved the schema (defaults + per-graph source +
+    // range checks); only the overload clamp can still rewrite the bag.
+    algorithms::Params params = prep.resolved;
     // Overload policy: past the queue-depth watermark, clamp the iteration
     // cap of iterative algorithms — degrade accuracy before availability.
     if (cfg_.overload.queue_watermark > 0 && cfg_.overload.max_iterations > 0 &&
         depth_at_start > cfg_.overload.queue_watermark) {
       for (const char* key : kIterationKeys) {
-        const algorithms::ParamSpec* spec = desc->schema.find(key);
+        const algorithms::ParamSpec* spec = prep.desc->schema.find(key);
         if (spec == nullptr) continue;
         std::int64_t requested = cfg_.overload.max_iterations + 1;
         if (params.has(key)) {
@@ -433,10 +585,7 @@ QueryResult GraphService::execute(
         }
       }
     }
-    // run() resolves the schema first: unknown keys, wrong types and
-    // out-of-range values (including the source, for *every* source-taking
-    // algorithm) throw here and surface as r.error below.
-    r.value = desc->run(eng, params);
+    r.value = prep.desc->run_resolved(eng, params);
     r.iterations_done = eng.sweeps_done();
   } catch (const sys::Cancelled& c) {
     // Must precede the std::exception handler (Cancelled derives from
@@ -462,7 +611,8 @@ QueryResult GraphService::execute(
   return r;
 }
 
-void GraphService::record(const QueryResult& r) {
+void GraphService::record(const QueryResult& r,
+                          const std::string& graph_name) {
   std::lock_guard<std::mutex> lock(stats_m_);
   ++stats_.queries_completed;
   switch (r.status) {
@@ -476,11 +626,24 @@ void GraphService::record(const QueryResult& r) {
   }
   if (r.degraded) ++stats_.queries_degraded;
   stats_.busy_seconds += r.seconds;
+  ServiceStats::PerGraph& pg = stats_.per_graph[graph_name];
+  ++pg.queries;
+  if (r.cached) ++pg.cache_hits;
 }
 
 ServiceStats GraphService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_m_);
-  return stats_;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_m_);
+    s = stats_;
+  }
+  // The cache keeps its own counters (it has its own lock); merge at
+  // snapshot time so the two never deadlock or double-count.
+  const ResultCache::Stats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_evictions = cs.evictions;
+  return s;
 }
 
 }  // namespace grind::service

@@ -1,19 +1,29 @@
-// GraphService: concurrent query execution over one shared immutable Graph.
+// GraphService: concurrent query execution over shared immutable Graphs.
 //
 // The paper's partitioned layouts exist to make *many* traversals over one
 // read-only structure cache-friendly; this module supplies the serving
 // shape that regime implies.  A GraphService owns
-//   * one immutable Graph (all layouts + remap, built once),
+//   * a GraphCatalog of named immutable Graphs (all layouts + remap, built
+//     once, refcounted and epoch-versioned — see graph_catalog.hpp),
+//   * a ResultCache of completed deterministic results keyed by
+//     (graph, epoch, algorithm, canonical params fingerprint) — see
+//     result_cache.hpp; hits resolve on the submitter's thread without a
+//     queue slot or a workspace lease,
 //   * a WorkspacePool of TraversalWorkspace instances (lazily grown up to a
-//     cap) so concurrent queries never share mutable scratch,
+//     cap) so concurrent queries never share mutable scratch —
+//     TraversalWorkspace is graph-agnostic (buffers keyed by size), so one
+//     pool serves every catalog entry,
 //   * a fixed set of worker threads draining a submission queue.
 //
-// Queries address algorithms through the AlgorithmRegistry
-// (algorithms/registry.hpp): a QueryRequest is just {algorithm code,
-// Params}, so every registered workload — including ones registered after
-// this file was written — is servable with no dispatch edits here.
-// Validation (unknown algorithm, parameter schema, source range) is derived
-// from the registered descriptor, never from hand-kept lists.
+// Queries address {graph, algorithm, params}: the graph by catalog name
+// (empty = the default graph, so single-graph callers never name one), the
+// algorithm through the AlgorithmRegistry (algorithms/registry.hpp), so
+// every registered workload — including ones registered after this file
+// was written — is servable with no dispatch edits here.  Validation
+// (unknown graph/algorithm, parameter schema, source range) is derived
+// from the catalog and the registered descriptor, never from hand-kept
+// lists, and the default source for source-taking algorithms is per-graph
+// (resolved once at load).
 //
 // Robustness contract (docs/SERVICE.md "Query model"):
 //   * every future resolves, exactly once, with a structured
@@ -29,7 +39,9 @@
 //   * admission control never blocks the submitter: a full queue sheds
 //     immediately (max_queue_depth), a stale queue entry sheds at dequeue
 //     (admission_timeout), and a worker waits at most lease_timeout for
-//     scratch (try_acquire_until) so it can never wedge on the pool;
+//     scratch (try_acquire_until) so it can never wedge on the pool — on
+//     the submit path and the run_batch slice path alike (both go through
+//     the same acquire_lease helper);
 //   * past Overload::queue_watermark queued entries, iterative algorithms'
 //     iteration caps are clamped (degrading accuracy before availability);
 //     clamped results carry QueryResult::degraded.
@@ -65,6 +77,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -75,6 +88,8 @@
 #include "algorithms/registry.hpp"
 #include "engine/options.hpp"
 #include "graph/graph.hpp"
+#include "service/graph_catalog.hpp"
+#include "service/result_cache.hpp"
 #include "service/workspace_pool.hpp"
 #include "sys/cancel.hpp"
 #include "sys/types.hpp"
@@ -94,15 +109,19 @@ enum class QueryStatus : std::uint8_t {
 /// Stable lower-case label ("ok", "error", "deadline", "cancelled", "shed").
 [[nodiscard]] const char* to_string(QueryStatus s);
 
-/// One query: an algorithm paper code (registry lookup key) plus its typed
-/// parameters.  Source-taking algorithms read the "source" parameter
-/// (original-ID space, like every user-facing boundary); when it is absent
-/// the service substitutes its default source (the max-out-degree vertex,
-/// resolved once at service construction).  Parameter validation — unknown
-/// keys, wrong types, out-of-range values and sources — happens against the
-/// registered schema when the query executes, and failures are reported in
-/// QueryResult::error.
+/// One query: a catalog graph name, an algorithm paper code (registry
+/// lookup key) and its typed parameters.  Source-taking algorithms read the
+/// "source" parameter (original-ID space, like every user-facing boundary);
+/// when it is absent the service substitutes the *target graph's* default
+/// source (its max-out-degree vertex, resolved once at load).  Validation —
+/// unknown graph, unknown keys, wrong types, out-of-range values and
+/// sources — happens against the catalog and the registered schema at
+/// submission, and failures are reported in QueryResult::error.
 struct QueryRequest {
+  /// Catalog name of the graph to query; empty addresses the default graph
+  /// (the one the single-graph constructor loaded), so callers that never
+  /// touch the catalog never name a graph.
+  std::string graph;
   std::string algorithm = "PR";
   algorithms::Params params;
 
@@ -132,6 +151,9 @@ struct QueryResult {
   int iterations_done = 0;
   /// True when the overload policy clamped this query's iteration cap.
   bool degraded = false;
+  /// True when the value came from the result cache — no execution, no
+  /// workspace lease; `seconds` and `iterations_done` stay 0.
+  bool cached = false;
   std::string error;              ///< non-empty ⇔ status != kOk
 
   [[nodiscard]] bool ok() const { return status == QueryStatus::kOk; }
@@ -171,6 +193,14 @@ struct ServiceConfig {
     std::size_t queue_watermark = 0;
     std::int64_t max_iterations = 0;
   } overload;
+
+  /// GraphCatalog byte budget (estimated resident graph bytes); 0 =
+  /// unbounded.  load_graph() throws when a load would exceed it.
+  std::size_t catalog_byte_budget = 0;
+  /// ResultCache capacity in entries; 0 disables caching (the default —
+  /// every query executes, preserving measurement-oriented callers'
+  /// expectations).  Only descriptors with caps.deterministic are cached.
+  std::size_t result_cache_capacity = 0;
 };
 
 /// Aggregate execution counters (snapshot via GraphService::stats()).
@@ -185,20 +215,62 @@ struct ServiceStats {
   std::uint64_t queries_degraded = 0;           ///< overload-clamped queries
   std::uint64_t batches = 0;
   double busy_seconds = 0.0;  ///< summed per-query execution time
+
+  /// Result-cache counters (mirrors ResultCache::Stats): hits resolve
+  /// without execution; misses count cache-eligible queries that went on to
+  /// run; evictions are capacity pressure only.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  /// Per-graph breakdown, keyed by catalog name (the default graph appears
+  /// under GraphService::kDefaultGraphName).
+  struct PerGraph {
+    std::uint64_t queries = 0;     ///< resolved futures addressed here
+    std::uint64_t cache_hits = 0;  ///< of which served from cache
+  };
+  std::map<std::string, PerGraph> per_graph;
 };
 
 class GraphService {
  public:
-  /// Takes ownership of the (already-built) graph.  Resolves the default
-  /// source eagerly so no query ever mutates shared state lazily.
+  /// Catalog name the single-graph constructor loads under, and the name
+  /// empty QueryRequest::graph resolves to.
+  static constexpr const char* kDefaultGraphName = "default";
+
+  /// Takes ownership of the (already-built) graph and loads it as the
+  /// default graph.  Resolves its default source eagerly so no query ever
+  /// mutates shared state lazily.
   explicit GraphService(graph::Graph g, ServiceConfig cfg = {});
+  /// Start with an empty catalog (no default graph): every request must
+  /// name a graph loaded via load_graph().
+  explicit GraphService(ServiceConfig cfg);
   ~GraphService();
 
   GraphService(const GraphService&) = delete;
   GraphService& operator=(const GraphService&) = delete;
 
-  /// The shared read-only graph.
-  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+  /// The default graph (the one the single-graph constructor loaded; it is
+  /// pinned for the service's lifetime).  Throws std::logic_error on a
+  /// catalog-only service with no default graph.
+  [[nodiscard]] const graph::Graph& graph() const;
+
+  /// Load (or replace, bumping the epoch) a named graph.  Returns the new
+  /// entry's epoch.  Throws on an empty/invalid name or when the catalog
+  /// byte budget would be exceeded.  Thread-safe; callable while queries
+  /// are in flight (they keep their pinned entries).
+  std::uint64_t load_graph(const std::string& name, graph::Graph g);
+  /// Unlink a named graph and purge its cached results.  In-flight queries
+  /// keep their pins — see GraphCatalog::EvictOutcome.
+  GraphCatalog::EvictOutcome evict_graph(const std::string& name);
+  /// Signal that a graph's underlying data changed: installs a fresh epoch
+  /// so cached results for the old epoch become unreachable.  Returns the
+  /// new epoch, 0 when the name is unknown.
+  std::uint64_t bump_epoch(const std::string& name);
+  /// Snapshot of resident graphs, sorted by name.
+  [[nodiscard]] std::vector<GraphCatalog::Info> list_graphs() const;
+  [[nodiscard]] const GraphCatalog& catalog() const { return catalog_; }
+  [[nodiscard]] const ResultCache& result_cache() const { return cache_; }
 
   /// Enqueue one query; the future resolves when a worker finishes it (or
   /// immediately with kShed when the queue is full — submit never blocks on
@@ -229,12 +301,29 @@ class GraphService {
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
   /// Queued (not yet running) entries right now.
   [[nodiscard]] std::size_t queue_depth() const;
-  /// The source used by source-taking algorithms when the request has no
-  /// "source" parameter (original-ID space).
-  [[nodiscard]] vid_t default_source() const { return default_source_; }
+  /// The *default graph's* source for source-taking algorithms when the
+  /// request has no "source" parameter (original-ID space); other graphs
+  /// use their own (GraphCatalog::Entry::default_source).  kInvalidVertex
+  /// on a catalog-only service with no default graph.
+  [[nodiscard]] vid_t default_source() const {
+    return default_handle_ != nullptr ? default_handle_->default_source()
+                                      : kInvalidVertex;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// Everything resolved about a query before it queues: the registry
+  /// descriptor, the pinned catalog entry (held across the queue wait — no
+  /// use-after-evict), the schema-resolved parameter bag, and the cache key
+  /// when the descriptor is cacheable.
+  struct Prepared {
+    const algorithms::AlgorithmDesc* desc = nullptr;
+    GraphCatalog::Handle entry;
+    algorithms::Params resolved;
+    bool cacheable = false;
+    ResultCache::Key key;
+  };
 
   /// One queue entry.  `run` executes the query; `drop` resolves its
   /// future(s) with a terminal status *without* executing — the path taken
@@ -246,29 +335,56 @@ class GraphService {
     Clock::time_point enqueued;
   };
 
+  void start_workers();
   void worker_loop(std::size_t index);
   /// False when the queue is full — `job` is left intact so the caller can
   /// invoke its drop handler.  Throws after shutdown.
   [[nodiscard]] bool enqueue(Job&& job);
+  /// Resolve a request end to end on the submitter's thread: catalog
+  /// lookup, registry lookup, per-graph default source, schema resolution,
+  /// cache probe.  True ⇒ `out` is ready to execute; false ⇒ `*early` is
+  /// the terminal result (validation error or cache hit).  Never throws.
+  [[nodiscard]] bool prepare(const QueryRequest& req, Prepared* out,
+                             QueryResult* early);
+  /// Lease a workspace, waiting no longer than the query's deadline and
+  /// cfg_.lease_timeout allow (unbounded only when neither is set).  False
+  /// ⇒ `*failure` carries the kShed / kDeadlineExceeded / kCancelled /
+  /// kError resolution (queue_seconds not yet stamped).  Never throws —
+  /// this is the single lease path for run_one AND batch slices, so the
+  /// lease-timeout guarantee holds on both.
+  [[nodiscard]] bool acquire_lease(
+      const std::string& algorithm,
+      const std::shared_ptr<sys::CancelToken>& token, Clock::time_point start,
+      WorkspacePool::Lease* lease, QueryResult* failure);
   /// Lease a workspace under the query's deadline/lease-timeout bounds and
   /// execute; produces the terminal QueryResult (never throws).
-  [[nodiscard]] QueryResult run_one(const QueryRequest& req,
+  [[nodiscard]] QueryResult run_one(const Prepared& prep,
                                     const std::shared_ptr<sys::CancelToken>& token,
                                     Clock::time_point enqueued);
-  /// Run one query on a leased workspace (no locks held); never throws.
+  /// Run one prepared query on a leased workspace (no locks held); never
+  /// throws.
   [[nodiscard]] QueryResult execute(
-      const QueryRequest& req,
+      const Prepared& prep,
       const std::shared_ptr<const sys::CancelToken>& token,
       engine::TraversalWorkspace& ws, std::size_t depth_at_start) const;
+  /// Insert a finished run into the cache when eligible (cacheable, kOk,
+  /// not degraded).
+  void maybe_cache(const Prepared& prep, const QueryResult& r);
   /// A terminal result for a query that did not run (shed / cancelled).
   [[nodiscard]] static QueryResult unrun_result(const std::string& algorithm,
                                                 QueryStatus status,
                                                 std::string why);
-  void record(const QueryResult& r);
+  /// The catalog name a request addresses (empty → kDefaultGraphName).
+  [[nodiscard]] static const std::string& graph_name_of(
+      const QueryRequest& req);
+  void record(const QueryResult& r, const std::string& graph_name);
 
-  graph::Graph graph_;
   ServiceConfig cfg_;
-  vid_t default_source_ = kInvalidVertex;
+  GraphCatalog catalog_;
+  ResultCache cache_;
+  /// Pin on the default graph's entry for the service lifetime — graph()
+  /// and worker NUMA pinning stay valid even if someone evicts "default".
+  GraphCatalog::Handle default_handle_;
   WorkspacePool pool_;
 
   mutable std::mutex queue_m_;

@@ -1,0 +1,81 @@
+#include "service/result_cache.hpp"
+
+#include <utility>
+
+namespace grind::service {
+
+std::string ResultCache::encode(const Key& key) {
+  // 0x1f (ASCII unit separator) cannot appear in graph names, paper codes
+  // or fingerprints, so the concatenation is injective.
+  std::string out;
+  out.reserve(key.graph.size() + key.algorithm.size() +
+              key.fingerprint.size() + 24);
+  out += key.graph;
+  out += '\x1f';
+  out += std::to_string(key.epoch);
+  out += '\x1f';
+  out += key.algorithm;
+  out += '\x1f';
+  out += key.fingerprint;
+  return out;
+}
+
+std::optional<algorithms::AnyResult> ResultCache::get(const Key& key) {
+  if (!enabled()) return std::nullopt;
+  const std::string encoded = encode(key);
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = index_.find(encoded);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->value;
+}
+
+void ResultCache::put(const Key& key, algorithms::AnyResult value) {
+  if (!enabled()) return;
+  const std::string encoded = encode(key);
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = index_.find(encoded);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key.graph, encoded, std::move(value)});
+  index_.emplace(std::move(encoded), lru_.begin());
+  while (lru_.size() > cfg_.capacity) {
+    index_.erase(lru_.back().encoded);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ResultCache::purge_graph(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->graph == name) {
+      index_.erase(it->encoded);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return Stats{hits_, misses_, evictions_, lru_.size()};
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return lru_.size();
+}
+
+}  // namespace grind::service

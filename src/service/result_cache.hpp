@@ -1,0 +1,107 @@
+// ResultCache: bounded LRU of algorithm results, keyed by graph epoch.
+//
+// The serving regime the paper implies — many queries over few read-only
+// structures — makes repeated identical queries the common case, and every
+// current workload is registered `deterministic` (a pure function of
+// (graph, params); BP included, because its priors derive from the
+// fingerprinted `prior_seed`).  So a result computed once can be handed to
+// every identical query until the graph changes.
+//
+// The key is (graph name, graph epoch, algorithm, canonical fingerprint of
+// the *schema-resolved* Params):
+//   * schema-resolved — defaults are filled and the service's per-graph
+//     default source is substituted before fingerprinting, so "PR" and
+//     "PR iterations=10" (the default) hit the same entry;
+//   * epoch — GraphCatalog epochs are monotone and never reused, so a
+//     reload or bump_epoch makes every stale entry unreachable.  Stale
+//     entries need no eager sweep: they age out of the LRU like any other
+//     cold key (purge_graph exists for the explicit-evict path, to return
+//     the memory immediately);
+//   * values are AnyResults, whose payload is shared and immutable — a hit
+//     is a refcount bump returning the *same* object the populating run
+//     produced, bit-identical by construction.
+//
+// The cache is consulted only for descriptors with caps.deterministic, and
+// only fully-successful undegraded runs are inserted (GraphService owns
+// both rules).  All methods are thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "algorithms/registry.hpp"
+
+namespace grind::service {
+
+class ResultCache {
+ public:
+  struct Config {
+    /// Maximum cached results; 0 disables the cache (every probe misses
+    /// without counting, every insert is dropped).
+    std::size_t capacity = 0;
+  };
+
+  struct Key {
+    std::string graph;
+    std::uint64_t epoch = 0;
+    std::string algorithm;
+    std::string fingerprint;  ///< algorithms::canonical_fingerprint output
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /// Capacity evictions only; purge_graph drops are not "pressure".
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  ResultCache() = default;
+  explicit ResultCache(Config cfg) : cfg_(cfg) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  [[nodiscard]] bool enabled() const { return cfg_.capacity > 0; }
+
+  /// Probe (and touch) the entry for `key`; counts a hit or a miss.
+  /// Disabled caches return nullopt without counting.
+  [[nodiscard]] std::optional<algorithms::AnyResult> get(const Key& key);
+
+  /// Insert or refresh; evicts the least-recently-used entry past capacity.
+  void put(const Key& key, algorithms::AnyResult value);
+
+  /// Drop every entry for `name` (all epochs) — the explicit graph-evict
+  /// path, where waiting for LRU aging would pin dead result vectors.
+  /// Returns the number of entries dropped.
+  std::size_t purge_graph(const std::string& name);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return cfg_.capacity; }
+
+ private:
+  struct Node {
+    std::string graph;    // for purge_graph
+    std::string encoded;  // full key, for map erasure from the LRU side
+    algorithms::AnyResult value;
+  };
+  using Lru = std::list<Node>;
+
+  static std::string encode(const Key& key);
+
+  Config cfg_{};
+  mutable std::mutex m_;
+  Lru lru_;  // front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace grind::service

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -169,6 +170,13 @@ class WorkspacePool {
     std::lock_guard<std::mutex> lock(m_);
     return created_ - idle_.size();
   }
+  /// Monotone count of successful check-outs over the pool's lifetime —
+  /// the instrument for "this query never leased scratch" assertions
+  /// (result-cache hits must not touch the pool) and serving-tier reports.
+  [[nodiscard]] std::uint64_t total_leases() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return leases_;
+  }
 
  private:
   struct Idle {
@@ -192,7 +200,9 @@ class WorkspacePool {
         }
       }
       if (pick == idle_.size() && domain != kAnyDomain && created_ < cap_) {
-        return Lease(this, create_workspace(), domain);
+        auto fresh = create_workspace();  // may throw: count only on success
+        ++leases_;
+        return Lease(this, std::move(fresh), domain);
       }
       if (pick == idle_.size()) pick = idle_.size() - 1;
       ws = std::move(idle_[pick].ws);
@@ -200,6 +210,7 @@ class WorkspacePool {
     } else {
       ws = create_workspace();
     }
+    ++leases_;
     return Lease(this, std::move(ws), domain);
   }
 
@@ -228,6 +239,7 @@ class WorkspacePool {
   std::condition_variable cv_;
   std::vector<Idle> idle_;
   std::size_t created_ = 0;
+  std::uint64_t leases_ = 0;
   bool closed_ = false;
   const std::size_t cap_;
 };

@@ -251,6 +251,153 @@ TEST(ServiceDeadline, BatchRequestsHonourPerRequestDeadlines) {
   EXPECT_TRUE(results[1].ok()) << results[1].error;
 }
 
+TEST(ServiceDeadline, BatchLeaseWaitHonoursDeadlinesAgainstStarvedPool) {
+  // Regression: run_batch's slice path used to lease via an *untimed*
+  // pool_.acquire(), ignoring both lease_timeout and the queries' own
+  // deadlines — a fully-leased pool wedged the batch (and its worker)
+  // forever.  With the fix, slices go through the same bounded
+  // acquire_lease path as submit(): every deadline-carrying future below
+  // must resolve on its own, before the hostage lease is ever returned.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  GraphService svc(build_test_graph(), cfg);
+  auto hostage = svc.pool().acquire();
+  ASSERT_TRUE(hostage.valid());
+
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 3; ++i) {
+    reqs.push_back(long_pagerank());
+    reqs.back().deadline = milliseconds(150);
+  }
+  auto fut = std::async(std::launch::async, [&svc, &reqs] {
+    return svc.run_batch(std::move(reqs));
+  });
+  // Generous bound for sanitizer jobs; pre-fix this blocks until the
+  // hostage release below, so the wait times out and the test fails
+  // instead of hanging the harness.
+  const bool resolved = fut.wait_for(std::chrono::seconds(20)) ==
+                        std::future_status::ready;
+  hostage.release();
+  ASSERT_TRUE(resolved)
+      << "run_batch wedged on an untimed pool acquire with all deadlines set";
+
+  const auto results = fut.get();
+  ASSERT_EQ(results.size(), 3u);
+  // The first query fails the bounded lease wait ("waiting for workspace");
+  // later ones find their tokens already expired at the per-query
+  // pre-check ("in queue").  Either way: kDeadlineExceeded, never a hang.
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.status, QueryStatus::kDeadlineExceeded) << r.error;
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(ServiceDeadline, BatchLeaseTimeoutShedsLikeSubmit) {
+  // Same resolution matrix as submit(): with no deadlines but a configured
+  // lease_timeout, a starved slice sheds each query instead of wedging.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  cfg.lease_timeout = milliseconds(50);
+  GraphService svc(build_test_graph(), cfg);
+  auto hostage = svc.pool().acquire();
+
+  std::vector<QueryRequest> reqs;
+  reqs.emplace_back("CC");
+  reqs.emplace_back("CC");
+  auto fut = std::async(std::launch::async, [&svc, &reqs] {
+    return svc.run_batch(std::move(reqs));
+  });
+  const bool resolved = fut.wait_for(std::chrono::seconds(20)) ==
+                        std::future_status::ready;
+  hostage.release();
+  ASSERT_TRUE(resolved) << "run_batch ignored lease_timeout";
+
+  const auto results = fut.get();
+  ASSERT_EQ(results.size(), 2u);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.status, QueryStatus::kShed) << r.error;
+    EXPECT_NE(r.error.find("lease"), std::string::npos) << r.error;
+  }
+  // The pool is whole again afterwards.
+  EXPECT_TRUE(svc.run_batch({QueryRequest("CC")})[0].ok());
+}
+
+TEST(ServiceDeadline, AdmissionTimeoutShedStampsRealQueueWait) {
+  // Regression: queries shed at dequeue (admission_timeout) resolved with
+  // queue_seconds == 0 because the drop path never stamped it — exactly
+  // the overloaded-tail latencies the service percentiles exist to report.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  cfg.admission_timeout = milliseconds(50);
+  GraphService svc(build_test_graph(), cfg);
+  auto hostage = svc.pool().acquire();
+
+  auto running = svc.submit(QueryRequest("CC"));
+  while (svc.queue_depth() > 0)
+    std::this_thread::sleep_for(milliseconds(1));
+  auto stale = svc.submit(QueryRequest("CC"));
+
+  std::this_thread::sleep_for(milliseconds(120));
+  hostage.release();
+
+  EXPECT_TRUE(running.get().ok());
+  const QueryResult r = stale.get();
+  ASSERT_EQ(r.status, QueryStatus::kShed);
+  // It sat in queue for the whole admission window (at least).
+  EXPECT_GE(r.queue_seconds, 0.05);
+}
+
+TEST(ServiceDeadline, ShutdownCancelledQueueEntryStampsQueueWait) {
+  // The other half of the same regression: a queued entry stolen by
+  // shutdown() resolves kCancelled, and its queue_seconds must report the
+  // real wait, not 0.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.pool_capacity = 1;
+  GraphService svc(build_test_graph(), cfg);
+  auto hostage = svc.pool().acquire();
+
+  auto wedged = svc.submit(QueryRequest("CC"));
+  auto queued = svc.submit(QueryRequest("CC"));
+  std::this_thread::sleep_for(milliseconds(30));
+  svc.shutdown();
+  hostage.release();
+
+  // The first query was dequeued and is blocked on the (closed) pool; it
+  // resolves kCancelled through the lease path.
+  EXPECT_EQ(wedged.get().status, QueryStatus::kCancelled);
+  const QueryResult r = queued.get();
+  ASSERT_EQ(r.status, QueryStatus::kCancelled);
+  EXPECT_GE(r.queue_seconds, 0.02);
+}
+
+TEST(ServiceDeadline, BatchQueueSecondsAreMonotonicWithinASlice) {
+  // Regression: every query in a run_batch slice used to report the
+  // slice's *initial* queue wait, hiding the time later queries spent
+  // behind earlier ones on the shared lease.  With per-query stamping the
+  // waits are non-decreasing in slice order, and the last query (which
+  // waited behind three real PR runs) reports strictly more than the
+  // first.
+  ServiceConfig cfg;
+  cfg.workers = 1;  // one slice, executed in request order
+  GraphService svc(build_test_graph(), cfg);
+
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.emplace_back("PR");
+    reqs.back().params.set("iterations", 30);
+  }
+  const auto results = svc.run_batch(std::move(reqs));
+  ASSERT_EQ(results.size(), 4u);
+  for (const QueryResult& r : results) ASSERT_TRUE(r.ok()) << r.error;
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i].queue_seconds, results[i - 1].queue_seconds) << i;
+  EXPECT_GT(results.back().queue_seconds, results.front().queue_seconds);
+}
+
 TEST(ServiceDeadline, StatusLabelsAreStable) {
   EXPECT_STREQ(to_string(QueryStatus::kOk), "ok");
   EXPECT_STREQ(to_string(QueryStatus::kError), "error");

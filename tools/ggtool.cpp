@@ -12,8 +12,9 @@
 //                   [--domains D] [--no-atomics]
 //   ggtool serve    <graph> [--clients N] [--pool-cap N] [--queries N]
 //                   [--script FILE] [--threads-per-query T]
-//                   [--deadline-ms MS] [--max-queue N]
-//                   [--partitions N] [--order O] [--domains D]
+//                   [--deadline-ms MS] [--max-queue N] [--cache N]
+//                   [--graph NAME=PATH]... [--partitions N] [--order O]
+//                   [--domains D]
 //
 // Algorithms are addressed by their registry paper code (`ggtool algos`
 // lists every registered algorithm with its flags and parameters; --codes
@@ -24,13 +25,22 @@
 // shorthand for --param source=V.
 //
 // serve executes a query script concurrently through a GraphService with
-// --clients worker threads.  Script lines are "ALGO [source] [k=v ...]"
-// (one query per line, '#' comments); without --script a default mixed
-// workload of --queries queries is generated.  --deadline-ms stamps every
-// query with a deadline; --max-queue caps the admission queue so overload
-// sheds instead of buffering.  The summary breaks results down by status
-// (ok/error/deadline/cancelled/shed) and serve exits 2 if any query
+// --clients worker threads.  Script lines are "[@GRAPH] ALGO [source]
+// [k=v ...]" (one query per line, '#' comments); without --script a default
+// mixed workload of --queries queries is generated.  --deadline-ms stamps
+// every query with a deadline; --max-queue caps the admission queue so
+// overload sheds instead of buffering.  The summary breaks results down by
+// status (ok/error/deadline/cancelled/shed) and serve exits 2 if any query
 // resolved non-ok.
+//
+// serve fronts a multi-graph catalog: the positional <graph> loads as
+// "default", --graph NAME=PATH (repeatable) loads more, and a query line's
+// @NAME prefix addresses one of them.  Scripts can also manage the catalog
+// with '%' commands — "%load NAME PATH", "%evict NAME", "%epoch NAME",
+// "%graphs" — each a barrier: outstanding queries drain before it applies,
+// so a script reads top-to-bottom.  --cache N enables the epoch-keyed
+// result cache (N entries; default off); the summary then reports hits,
+// misses and the per-graph breakdown.
 //
 // --source and all printed vertex ids are in the input file's (original) ID
 // space; --order selects the internal vertex relabeling applied by the
@@ -120,9 +130,13 @@ int usage() {
              "  ggtool serve <graph> [--clients N] [--pool-cap N] "
              "[--queries N] [--script FILE]\n"
              "               [--threads-per-query T] [--deadline-ms MS] "
-             "[--max-queue N]\n"
-             "               [--partitions N] [--order O] [--domains D]\n"
-             "    script lines: \"ALGO [source] [k=v ...]\"\n";
+             "[--max-queue N] [--cache N]\n"
+             "               [--graph NAME=PATH]... [--partitions N] "
+             "[--order O] [--domains D]\n"
+             "    script lines: \"[@GRAPH] ALGO [source] [k=v ...]\" or "
+             "%load NAME PATH | %evict NAME |\n"
+             "                  %epoch NAME | %graphs  (catalog commands "
+             "drain in-flight queries first)\n";
   return 1;
 }
 
@@ -417,14 +431,27 @@ int cmd_run(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Parse one script line ("ALGO [source] [k=v ...]") into a request; returns
-// false with a diagnostic on malformed lines (unknown algorithm, bad source,
-// schema-rejected parameters), reported with the line number by the caller.
+// Parse one script line ("[@GRAPH] ALGO [source] [k=v ...]") into a
+// request; returns false with a diagnostic on malformed lines (unknown
+// algorithm, bad source, schema-rejected parameters), reported with the
+// line number by the caller.  Whether "@GRAPH" names a loaded graph is the
+// service's call at submit time, not the parser's.
 bool parse_query_line(const std::string& line, service::QueryRequest* out,
                       std::string* diag) {
   std::istringstream is(line);
   std::string code;
   if (!(is >> code)) return false;
+  if (code.front() == '@') {
+    if (code.size() == 1) {
+      *diag = "empty graph name '@'";
+      return false;
+    }
+    out->graph = code.substr(1);
+    if (!(is >> code)) {
+      *diag = "graph prefix '@" + out->graph + "' without an algorithm";
+      return false;
+    }
+  }
   const algorithms::AlgorithmDesc* desc =
       algorithms::AlgorithmRegistry::instance().find(code);
   if (desc == nullptr) {
@@ -482,6 +509,52 @@ bool parse_query_line(const std::string& line, service::QueryRequest* out,
   return true;
 }
 
+// One serve-script statement: a query, or a '%' catalog command.  Catalog
+// commands are barriers — every in-flight query drains before one applies —
+// so a script reads strictly top-to-bottom: queries before an %evict see
+// the old graph, queries after it get "unknown graph".
+struct ServeOp {
+  enum class Kind { kQuery, kLoad, kEvict, kEpoch, kList };
+  Kind kind = Kind::kQuery;
+  service::QueryRequest req;  // kQuery
+  std::string name;           // kLoad / kEvict / kEpoch
+  std::string path;           // kLoad
+};
+
+bool parse_catalog_line(const std::string& line, ServeOp* out,
+                        std::string* diag) {
+  std::istringstream is(line);
+  std::string cmd, extra;
+  is >> cmd;
+  if (cmd == "%graphs") {
+    if (is >> extra) {
+      *diag = "%graphs takes no arguments";
+      return false;
+    }
+    out->kind = ServeOp::Kind::kList;
+    return true;
+  }
+  if (cmd == "%load") {
+    if (!(is >> out->name >> out->path) || (is >> extra)) {
+      *diag = "usage: %load NAME PATH";
+      return false;
+    }
+    out->kind = ServeOp::Kind::kLoad;
+    return true;
+  }
+  if (cmd == "%evict" || cmd == "%epoch") {
+    if (!(is >> out->name) || (is >> extra)) {
+      *diag = "usage: " + cmd + " NAME";
+      return false;
+    }
+    out->kind =
+        cmd == "%evict" ? ServeOp::Kind::kEvict : ServeOp::Kind::kEpoch;
+    return true;
+  }
+  *diag = "unknown catalog command '" + cmd + "'";
+  return false;
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const std::string path = args[0];
@@ -491,6 +564,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::size_t queries = 64;
   std::string script_path;
   std::chrono::milliseconds deadline{0};
+  std::vector<std::pair<std::string, std::string>> extra_graphs;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -510,6 +584,16 @@ int cmd_serve(const std::vector<std::string>& args) {
       deadline = std::chrono::milliseconds(std::stol(next()));
     } else if (a == "--max-queue") {
       cfg.max_queue_depth = std::stoul(next());
+    } else if (a == "--cache") {
+      cfg.result_cache_capacity = std::stoul(next());
+    } else if (a == "--graph") {
+      const std::string kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+        std::cerr << "error: --graph wants NAME=PATH, got '" << kv << "'\n";
+        return usage();
+      }
+      extra_graphs.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
     } else if (a == "--partitions") {
       bopts.num_partitions = static_cast<part_t>(std::stoul(next()));
     } else if (a == "--order") {
@@ -526,12 +610,21 @@ int cmd_serve(const std::vector<std::string>& args) {
   auto el = load_any(path);
   Timer build_timer;
   service::GraphService svc(graph::Graph::build(std::move(el), bopts), cfg);
+  for (const auto& [gname, gpath] : extra_graphs) {
+    try {
+      svc.load_graph(gname, graph::Graph::build(load_any(gpath), bopts));
+    } catch (const std::exception& e) {
+      std::cerr << "error: --graph " << gname << "=" << gpath << ": "
+                << e.what() << "\n";
+      return 2;
+    }
+  }
   const double build_s = build_timer.seconds();
   const auto& g = svc.graph();
 
   // Assemble the workload: the script verbatim, or a default mix cycling
   // through the algorithms with sources spread over the vertex range.
-  std::vector<service::QueryRequest> reqs;
+  std::vector<ServeOp> ops;
   if (!script_path.empty()) {
     std::ifstream in(script_path);
     if (!in) {
@@ -544,50 +637,106 @@ int cmd_serve(const std::vector<std::string>& args) {
       ++lineno;
       const auto hash = line.find('#');
       if (hash != std::string::npos) line.erase(hash);
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      service::QueryRequest req;
+      const auto start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos) continue;
+      ServeOp op;
       std::string diag;
-      if (!parse_query_line(line, &req, &diag)) {
+      const bool parsed = line[start] == '%'
+                              ? parse_catalog_line(line, &op, &diag)
+                              : parse_query_line(line, &op.req, &diag);
+      if (!parsed) {
         std::cerr << "error: bad script line " << lineno << ": " << line
                   << (diag.empty() ? "" : " (" + diag + ")") << "\n";
         return 2;
       }
-      reqs.push_back(std::move(req));
+      ops.push_back(std::move(op));
     }
   } else {
     const auto& registry = algorithms::AlgorithmRegistry::instance();
     const char* const mix[] = {"BFS", "PR", "CC", "BF"};
     for (std::size_t q = 0; q < queries; ++q) {
-      service::QueryRequest req(mix[q % std::size(mix)]);
+      ServeOp op;
+      op.req = service::QueryRequest(mix[q % std::size(mix)]);
       if (g.num_vertices() > 0 &&
-          registry.at(req.algorithm).caps.needs_source)
-        req.params.set("source",
-                       static_cast<vid_t>((q * 131) % g.num_vertices()));
-      reqs.push_back(std::move(req));
+          registry.at(op.req.algorithm).caps.needs_source)
+        op.req.params.set("source",
+                          static_cast<vid_t>((q * 131) % g.num_vertices()));
+      ops.push_back(std::move(op));
     }
   }
 
-  // Execute everything concurrently and drain.
+  // Execute: queries stream in concurrently; a catalog command drains them
+  // first, so its effect orders cleanly against neighbouring lines.
   std::vector<std::future<service::QueryResult>> futures;
-  futures.reserve(reqs.size());
-  Timer wall;
-  for (auto& req : reqs) {
-    if (deadline.count() > 0) req.deadline = deadline;
-    futures.push_back(svc.submit(std::move(req)));
-  }
+  futures.reserve(ops.size());
   std::map<std::string, std::size_t> per_algo;
   std::map<std::string, std::size_t> per_status;
   std::size_t failed = 0;
-  for (auto& f : futures) {
-    const auto r = f.get();
-    ++per_algo[r.algorithm];
-    ++per_status[service::to_string(r.status)];
-    if (!r.ok()) {
-      ++failed;
-      std::cerr << "query " << service::to_string(r.status) << ": "
-                << r.algorithm << ": " << r.error << "\n";
+  const auto drain = [&] {
+    for (auto& f : futures) {
+      const auto r = f.get();
+      ++per_algo[r.algorithm];
+      ++per_status[service::to_string(r.status)];
+      if (!r.ok()) {
+        ++failed;
+        std::cerr << "query " << service::to_string(r.status) << ": "
+                  << r.algorithm << ": " << r.error << "\n";
+      }
+    }
+    futures.clear();
+  };
+
+  Timer wall;
+  for (auto& op : ops) {
+    switch (op.kind) {
+      case ServeOp::Kind::kQuery:
+        if (deadline.count() > 0) op.req.deadline = deadline;
+        futures.push_back(svc.submit(std::move(op.req)));
+        break;
+      case ServeOp::Kind::kLoad: {
+        drain();
+        try {
+          const std::uint64_t e = svc.load_graph(
+              op.name, graph::Graph::build(load_any(op.path), bopts));
+          std::cout << "%load " << op.name << ": epoch " << e << "\n";
+        } catch (const std::exception& e) {
+          std::cerr << "error: %load " << op.name << ": " << e.what()
+                    << "\n";
+          return 2;
+        }
+        break;
+      }
+      case ServeOp::Kind::kEvict: {
+        drain();
+        const auto outcome = svc.evict_graph(op.name);
+        using Outcome = service::GraphCatalog::EvictOutcome;
+        std::cout << "%evict " << op.name << ": "
+                  << (outcome == Outcome::kEvicted    ? "evicted"
+                      : outcome == Outcome::kDeferred ? "deferred"
+                                                      : "not found")
+                  << "\n";
+        break;
+      }
+      case ServeOp::Kind::kEpoch: {
+        drain();
+        const std::uint64_t e = svc.bump_epoch(op.name);
+        if (e == 0) {
+          std::cerr << "error: %epoch " << op.name << ": unknown graph\n";
+          return 2;
+        }
+        std::cout << "%epoch " << op.name << ": epoch " << e << "\n";
+        break;
+      }
+      case ServeOp::Kind::kList:
+        drain();
+        for (const auto& info : svc.list_graphs())
+          std::cout << "%graphs: " << info.name << " epoch=" << info.epoch
+                    << " " << info.num_vertices << "v/" << info.num_edges
+                    << "e " << info.bytes << "B pins=" << info.pins << "\n";
+        break;
     }
   }
+  drain();
   const double elapsed = wall.seconds();
 
   const auto st = svc.stats();
@@ -604,6 +753,20 @@ int cmd_serve(const std::vector<std::string>& args) {
   t.row({"queries", Table::num(st.queries_completed)});
   for (const auto& [label, count] : per_status)
     t.row({std::string("  status ") + label, Table::num(count)});
+  if (svc.catalog().size() > 1 || !extra_graphs.empty()) {
+    t.row({"catalog graphs", Table::num(svc.catalog().size())});
+    for (const auto& [gname, pg] : st.per_graph)
+      t.row({"  graph " + gname, Table::num(pg.queries) + " queries, " +
+                                     Table::num(pg.cache_hits) +
+                                     " cache hits"});
+  }
+  if (cfg.result_cache_capacity > 0) {
+    t.row({"result cache capacity", Table::num(cfg.result_cache_capacity)});
+    t.row({"  cache hits / misses", Table::num(st.cache_hits) + " / " +
+                                        Table::num(st.cache_misses)});
+    if (st.cache_evictions > 0)
+      t.row({"  cache evictions", Table::num(st.cache_evictions)});
+  }
   if (deadline.count() > 0)
     t.row({"deadline [ms]", Table::num(static_cast<std::size_t>(
                deadline.count()))});
