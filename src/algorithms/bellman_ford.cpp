@@ -30,8 +30,17 @@ AlgorithmDesc make_bf_desc() {
                        "start vertex (original ID); absent = default source",
                        std::nullopt, 0,
                        static_cast<double>(kInvalidVertex) - 1)};
+  // Summarise the deterministic projection only: dist is a pure function
+  // of (graph, source), but `rounds` is schedule-dependent — an atomic
+  // relaxation can propagate multiple hops within one edge_map round, so
+  // the frontier may drain a round earlier or later run-to-run (same
+  // convention as BFS's parents: any valid tree, summarised by levels).
   d.summarize = [](const AnyResult& r) {
-    return "rounds: " + std::to_string(r.as<BellmanFordResult>().rounds);
+    const auto& v = r.as<BellmanFordResult>();
+    std::size_t reached = 0;
+    for (const double dist : v.dist)
+      if (dist != kUnreachable) ++reached;
+    return "reached: " + std::to_string(reached);
   };
   // Dijkstra is the oracle; the suite keeps weights non-negative.
   d.check = [](const CheckContext& cx, const Params& p, const AnyResult& r) {

@@ -5,6 +5,7 @@
 // weights in the benchmark suite guarantee ≤ |V| rounds).
 #pragma once
 
+#include <cstddef>
 #include <limits>
 #include <vector>
 
@@ -25,6 +26,11 @@ inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
 
 struct BellmanFordResult {
   std::vector<double> dist;  ///< kUnreachable if not reachable
+  /// Edge-map rounds this run took.  Diagnostics, NOT deterministic: an
+  /// atomic relaxation can carry an improvement several hops within one
+  /// round, so identical inputs may drain the frontier in fewer or more
+  /// rounds depending on thread interleaving.  dist itself always
+  /// converges to the unique shortest-path values.
   int rounds = 0;
 };
 

@@ -37,11 +37,11 @@ GraphCatalog::Handle GraphCatalog::load(const std::string& name,
       g.num_vertices() > 0 ? g.max_out_degree_source() : kInvalidVertex;
   auto owned = std::make_unique<graph::Graph>(std::move(g));
 
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   // Reserve the bytes *before* attaching the releasing deleter: a refused
   // load must not run a deleter that returns bytes it never held.
   {
-    std::lock_guard<std::mutex> ledger_lock(ledger_->m);
+    sys::MutexLock ledger_lock(ledger_->m);
     if (cfg_.byte_budget != 0 && ledger_->bytes + bytes > cfg_.byte_budget)
       throw std::runtime_error(
           "GraphCatalog: loading '" + name + "' (" + std::to_string(bytes) +
@@ -58,7 +58,7 @@ GraphCatalog::Handle GraphCatalog::load(const std::string& name,
       owned.release(),
       [ledger, bytes](const graph::Graph* p) {
         delete p;
-        std::lock_guard<std::mutex> lock(ledger->m);
+        sys::MutexLock lock(ledger->m);
         ledger->bytes -= bytes;
       });
   auto entry = Handle(new Entry(name, ++next_epoch_, std::move(shared), bytes,
@@ -74,7 +74,7 @@ GraphCatalog::Handle GraphCatalog::load(const std::string& name,
 }
 
 GraphCatalog::EvictOutcome GraphCatalog::evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if ((*it)->name() != name) continue;
     // use_count is exact here: we hold the only catalog reference under the
@@ -87,14 +87,14 @@ GraphCatalog::EvictOutcome GraphCatalog::evict(const std::string& name) {
 }
 
 GraphCatalog::Handle GraphCatalog::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   for (const Handle& h : entries_)
     if (h->name() == name) return h;
   return nullptr;
 }
 
 std::uint64_t GraphCatalog::bump_epoch(const std::string& name) {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   for (Handle& h : entries_) {
     if (h->name() != name) continue;
     // Same shared Graph (no bytes change hands), fresh epoch.
@@ -108,7 +108,7 @@ std::uint64_t GraphCatalog::bump_epoch(const std::string& name) {
 std::vector<GraphCatalog::Info> GraphCatalog::list() const {
   std::vector<Info> out;
   {
-    std::lock_guard<std::mutex> lock(m_);
+    sys::MutexLock lock(m_);
     out.reserve(entries_.size());
     for (const Handle& h : entries_) {
       Info info;
@@ -128,12 +128,12 @@ std::vector<GraphCatalog::Info> GraphCatalog::list() const {
 }
 
 std::size_t GraphCatalog::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(ledger_->m);
+  sys::MutexLock lock(ledger_->m);
   return ledger_->bytes;
 }
 
 std::size_t GraphCatalog::size() const {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   return entries_.size();
 }
 

@@ -34,11 +34,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sys/thread_safety.hpp"
 #include "sys/types.hpp"
 
 namespace grind::service {
@@ -141,15 +141,16 @@ class GraphCatalog {
   /// eviction's bytes are released whenever the last pin drops — which may
   /// be after the catalog itself is gone.
   struct Ledger {
-    std::mutex m;
-    std::size_t bytes = 0;
+    sys::Mutex m;
+    std::size_t bytes GRIND_GUARDED_BY(m) = 0;
   };
 
   Config cfg_{};
   std::shared_ptr<Ledger> ledger_ = std::make_shared<Ledger>();
-  mutable std::mutex m_;
-  std::uint64_t next_epoch_ = 0;
-  std::vector<Handle> entries_;  // small; linear scan by name
+  mutable sys::Mutex m_;
+  std::uint64_t next_epoch_ GRIND_GUARDED_BY(m_) = 0;
+  // Small; linear scan by name.
+  std::vector<Handle> entries_ GRIND_GUARDED_BY(m_);
 };
 
 }  // namespace grind::service

@@ -71,6 +71,10 @@ GraphService::GraphService(ServiceConfig cfg)
 }
 
 void GraphService::start_workers() {
+  // Construction is single-threaded, but workers_ is guarded by
+  // shutdown_m_ and the lock is uncontended here — take it so the
+  // annotation holds everywhere rather than special-casing the ctor.
+  sys::MutexLock lock(shutdown_m_);
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -111,10 +115,10 @@ GraphService::~GraphService() { shutdown(); }
 void GraphService::shutdown() {
   // Serialise whole shutdowns so two concurrent calls (or an explicit call
   // racing the destructor) cannot both join the same threads.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_m_);
+  sys::MutexLock shutdown_lock(shutdown_m_);
   std::deque<Job> stolen;
   {
-    std::lock_guard<std::mutex> lock(queue_m_);
+    sys::MutexLock lock(queue_m_);
     stopping_ = true;
     stolen.swap(queue_);  // steal atomically with the flag: workers that
                           // wake on stopping_ find an empty queue
@@ -153,8 +157,8 @@ void GraphService::worker_loop(std::size_t index) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(queue_m_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      sys::UniqueLock lock(queue_m_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
       // shutdown() steals the queue under the same lock that sets
       // stopping_, so stopping_ ⇒ nothing left to run here.
       if (stopping_) return;
@@ -174,7 +178,7 @@ void GraphService::worker_loop(std::size_t index) {
 
 bool GraphService::enqueue(Job&& job) {
   {
-    std::lock_guard<std::mutex> lock(queue_m_);
+    sys::MutexLock lock(queue_m_);
     if (stopping_)
       throw std::runtime_error("GraphService: submit after shutdown");
     if (cfg_.max_queue_depth != 0 && queue_.size() >= cfg_.max_queue_depth)
@@ -186,7 +190,7 @@ bool GraphService::enqueue(Job&& job) {
 }
 
 std::size_t GraphService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_m_);
+  sys::MutexLock lock(queue_m_);
   return queue_.size();
 }
 
@@ -349,6 +353,9 @@ bool GraphService::acquire_lease(const std::string& algorithm,
       }
       *lease = std::move(*opt);
     } else {
+      // grind-lint: allow(untimed-acquire) reachable only when the query
+      // carries no deadline AND cfg_.lease_timeout is 0 — the caller asked
+      // for an unbounded wait, and shutdown()'s pool close() still wakes it.
       *lease = pool_.acquire(preferred_domain());
       if (!lease->valid()) {
         // The pool was closed by shutdown() while we waited.
@@ -409,7 +416,7 @@ std::vector<QueryResult> GraphService::run_batch(
     // Fail like submit() does: without this check a post-shutdown batch
     // would enqueue zero slices (workers_ is empty) and return fabricated
     // default results.
-    std::lock_guard<std::mutex> lock(queue_m_);
+    sys::MutexLock lock(queue_m_);
     if (stopping_)
       throw std::runtime_error("GraphService: run_batch after shutdown");
   }
@@ -542,7 +549,7 @@ std::vector<QueryResult> GraphService::run_batch(
   }
   for (auto& f : slices) f.wait();
   {
-    std::lock_guard<std::mutex> lock(stats_m_);
+    sys::MutexLock lock(stats_m_);
     ++stats_.batches;
   }
   return std::move(state->results);
@@ -613,7 +620,7 @@ QueryResult GraphService::execute(
 
 void GraphService::record(const QueryResult& r,
                           const std::string& graph_name) {
-  std::lock_guard<std::mutex> lock(stats_m_);
+  sys::MutexLock lock(stats_m_);
   ++stats_.queries_completed;
   switch (r.status) {
     case QueryStatus::kOk: break;
@@ -634,7 +641,7 @@ void GraphService::record(const QueryResult& r,
 ServiceStats GraphService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(stats_m_);
+    sys::MutexLock lock(stats_m_);
     s = stats_;
   }
   // The cache keeps its own counters (it has its own lock); merge at

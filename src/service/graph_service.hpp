@@ -71,7 +71,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -79,7 +78,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,6 +90,7 @@
 #include "service/result_cache.hpp"
 #include "service/workspace_pool.hpp"
 #include "sys/cancel.hpp"
+#include "sys/thread_safety.hpp"
 #include "sys/types.hpp"
 
 namespace grind::service {
@@ -291,16 +290,19 @@ class GraphService {
   /// queries run to completion, blocked pool waits wake, workers join.
   /// Idempotent; the destructor calls it.  Further submit()/run_batch()
   /// calls throw.
-  void shutdown();
+  void shutdown() GRIND_EXCLUDES(shutdown_m_, queue_m_);
 
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const GRIND_EXCLUDES(stats_m_);
   [[nodiscard]] const WorkspacePool& pool() const { return pool_; }
   /// Mutable pool access — robustness tests use it to starve workers by
   /// holding external leases; production callers have no reason to.
   [[nodiscard]] WorkspacePool& pool() { return pool_; }
-  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t num_workers() const GRIND_EXCLUDES(shutdown_m_) {
+    sys::MutexLock lock(shutdown_m_);
+    return workers_.size();
+  }
   /// Queued (not yet running) entries right now.
-  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_depth() const GRIND_EXCLUDES(queue_m_);
   /// The *default graph's* source for source-taking algorithms when the
   /// request has no "source" parameter (original-ID space); other graphs
   /// use their own (GraphCatalog::Entry::default_source).  kInvalidVertex
@@ -335,11 +337,11 @@ class GraphService {
     Clock::time_point enqueued;
   };
 
-  void start_workers();
-  void worker_loop(std::size_t index);
+  void start_workers() GRIND_EXCLUDES(shutdown_m_);
+  void worker_loop(std::size_t index) GRIND_EXCLUDES(queue_m_);
   /// False when the queue is full — `job` is left intact so the caller can
   /// invoke its drop handler.  Throws after shutdown.
-  [[nodiscard]] bool enqueue(Job&& job);
+  [[nodiscard]] bool enqueue(Job&& job) GRIND_EXCLUDES(queue_m_);
   /// Resolve a request end to end on the submitter's thread: catalog
   /// lookup, registry lookup, per-graph default source, schema resolution,
   /// cache probe.  True ⇒ `out` is ready to execute; false ⇒ `*early` is
@@ -377,7 +379,8 @@ class GraphService {
   /// The catalog name a request addresses (empty → kDefaultGraphName).
   [[nodiscard]] static const std::string& graph_name_of(
       const QueryRequest& req);
-  void record(const QueryResult& r, const std::string& graph_name);
+  void record(const QueryResult& r, const std::string& graph_name)
+      GRIND_EXCLUDES(stats_m_);
 
   ServiceConfig cfg_;
   GraphCatalog catalog_;
@@ -387,15 +390,18 @@ class GraphService {
   GraphCatalog::Handle default_handle_;
   WorkspacePool pool_;
 
-  mutable std::mutex queue_m_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
-  std::mutex shutdown_m_;
-  std::vector<std::thread> workers_;
+  mutable sys::Mutex queue_m_;
+  sys::CondVar queue_cv_;
+  std::deque<Job> queue_ GRIND_GUARDED_BY(queue_m_);
+  bool stopping_ GRIND_GUARDED_BY(queue_m_) = false;
+  /// Serialises shutdown() against itself AND guards workers_: join/clear
+  /// must never race a num_workers() observer (a real data race the first
+  /// annotation pass surfaced — see docs/STATIC_ANALYSIS.md).
+  mutable sys::Mutex shutdown_m_;
+  std::vector<std::thread> workers_ GRIND_GUARDED_BY(shutdown_m_);
 
-  mutable std::mutex stats_m_;
-  ServiceStats stats_;
+  mutable sys::Mutex stats_m_;
+  ServiceStats stats_ GRIND_GUARDED_BY(stats_m_);
 };
 
 }  // namespace grind::service

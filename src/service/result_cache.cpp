@@ -23,7 +23,7 @@ std::string ResultCache::encode(const Key& key) {
 std::optional<algorithms::AnyResult> ResultCache::get(const Key& key) {
   if (!enabled()) return std::nullopt;
   const std::string encoded = encode(key);
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   auto it = index_.find(encoded);
   if (it == index_.end()) {
     ++misses_;
@@ -37,7 +37,7 @@ std::optional<algorithms::AnyResult> ResultCache::get(const Key& key) {
 void ResultCache::put(const Key& key, algorithms::AnyResult value) {
   if (!enabled()) return;
   const std::string encoded = encode(key);
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   auto it = index_.find(encoded);
   if (it != index_.end()) {
     it->second->value = std::move(value);
@@ -54,7 +54,7 @@ void ResultCache::put(const Key& key, algorithms::AnyResult value) {
 }
 
 std::size_t ResultCache::purge_graph(const std::string& name) {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   std::size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->graph == name) {
@@ -69,12 +69,12 @@ std::size_t ResultCache::purge_graph(const std::string& name) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   return Stats{hits_, misses_, evictions_, lru_.size()};
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   return lru_.size();
 }
 

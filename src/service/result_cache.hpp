@@ -29,12 +29,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "algorithms/registry.hpp"
+#include "sys/thread_safety.hpp"
 
 namespace grind::service {
 
@@ -96,12 +96,12 @@ class ResultCache {
   static std::string encode(const Key& key);
 
   Config cfg_{};
-  mutable std::mutex m_;
-  Lru lru_;  // front = most recently used
-  std::unordered_map<std::string, Lru::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable sys::Mutex m_;
+  Lru lru_ GRIND_GUARDED_BY(m_);  // front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_ GRIND_GUARDED_BY(m_);
+  std::uint64_t hits_ GRIND_GUARDED_BY(m_) = 0;
+  std::uint64_t misses_ GRIND_GUARDED_BY(m_) = 0;
+  std::uint64_t evictions_ GRIND_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace grind::service

@@ -21,14 +21,18 @@
 // fresh workspace beats stealing another domain's warm one; a foreign warm
 // workspace is the last resort.  Domain kAnyDomain (-1) restores the old
 // most-recently-returned behaviour.
+//
+// Locking contract is machine-checked (sys/thread_safety.hpp): all pool
+// state is GRIND_GUARDED_BY(m_), and the untimed acquire() is the ONE
+// sanctioned untimed lease wait in the tree — every caller outside this
+// file must use try_acquire / try_acquire_until (grind_lint rule
+// `untimed-acquire`, the PR-8 bug class).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <optional>
 #include <utility>
@@ -36,6 +40,7 @@
 
 #include "engine/workspace.hpp"
 #include "sys/fault.hpp"
+#include "sys/thread_safety.hpp"
 
 namespace grind::service {
 
@@ -105,19 +110,24 @@ class WorkspacePool {
   /// has not been reached.  `domain` expresses a placement preference
   /// (typically sys preferred_domain() of a pinned worker); it never
   /// changes *whether* a workspace is obtained, only which one.
-  [[nodiscard]] Lease acquire(int domain = kAnyDomain) {
-    std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [&] { return closed_ || !idle_.empty() || created_ < cap_; });
+  ///
+  /// This is the one sanctioned untimed wait: deadline- or timeout-carrying
+  /// callers must use try_acquire_until so a starved pool can never wedge
+  /// them (grind_lint enforces this outside the pool's own tests).
+  [[nodiscard]] Lease acquire(int domain = kAnyDomain) GRIND_EXCLUDES(m_) {
+    sys::UniqueLock lock(m_);
+    while (!(closed_ || !idle_.empty() || created_ < cap_)) cv_.wait(lock);
     if (closed_) return Lease{};  // invalid: the pool is shutting down
-    return take(lock, domain);
+    return take(domain);
   }
 
   /// Non-blocking check-out; std::nullopt when the pool is exhausted (or
   /// closed).
-  [[nodiscard]] std::optional<Lease> try_acquire(int domain = kAnyDomain) {
-    std::unique_lock<std::mutex> lock(m_);
+  [[nodiscard]] std::optional<Lease> try_acquire(int domain = kAnyDomain)
+      GRIND_EXCLUDES(m_) {
+    sys::UniqueLock lock(m_);
     if (closed_ || (idle_.empty() && created_ >= cap_)) return std::nullopt;
-    return take(lock, domain);
+    return take(domain);
   }
 
   /// Timed check-out: wait at most until `deadline` for a workspace.
@@ -125,56 +135,59 @@ class WorkspacePool {
   /// service worker can never wedge forever on a lease.
   [[nodiscard]] std::optional<Lease> try_acquire_until(
       std::chrono::steady_clock::time_point deadline,
-      int domain = kAnyDomain) {
-    std::unique_lock<std::mutex> lock(m_);
-    if (!cv_.wait_until(lock, deadline, [&] {
-          return closed_ || !idle_.empty() || created_ < cap_;
-        })) {
-      return std::nullopt;  // timed out
+      int domain = kAnyDomain) GRIND_EXCLUDES(m_) {
+    sys::UniqueLock lock(m_);
+    while (!(closed_ || !idle_.empty() || created_ < cap_)) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // One final re-check: the state may have become acquirable between
+        // the last wakeup and the deadline passing.
+        if (closed_ || !idle_.empty() || created_ < cap_) break;
+        return std::nullopt;  // timed out
+      }
     }
     if (closed_) return std::nullopt;
-    return take(lock, domain);
+    return take(domain);
   }
 
   /// Poison the pool for shutdown: every blocked acquire() wakes and returns
   /// an invalid Lease, every timed wait returns std::nullopt, and future
   /// check-outs fail immediately.  Outstanding leases may still check in
   /// (their workspaces are simply retained for destruction).  Idempotent.
-  void close() {
+  void close() GRIND_EXCLUDES(m_) {
     {
-      std::lock_guard<std::mutex> lock(m_);
+      sys::MutexLock lock(m_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] bool closed() const GRIND_EXCLUDES(m_) {
+    sys::MutexLock lock(m_);
     return closed_;
   }
 
   /// Maximum number of workspaces this pool will ever create.
   [[nodiscard]] std::size_t capacity() const { return cap_; }
   /// Workspaces created so far (monotone, ≤ capacity()).
-  [[nodiscard]] std::size_t created() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] std::size_t created() const GRIND_EXCLUDES(m_) {
+    sys::MutexLock lock(m_);
     return created_;
   }
   /// Idle workspaces available for immediate acquisition.
-  [[nodiscard]] std::size_t available() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] std::size_t available() const GRIND_EXCLUDES(m_) {
+    sys::MutexLock lock(m_);
     return idle_.size() + (cap_ - created_);
   }
   /// Workspaces currently leased out.
-  [[nodiscard]] std::size_t in_use() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] std::size_t in_use() const GRIND_EXCLUDES(m_) {
+    sys::MutexLock lock(m_);
     return created_ - idle_.size();
   }
   /// Monotone count of successful check-outs over the pool's lifetime —
   /// the instrument for "this query never leased scratch" assertions
   /// (result-cache hits must not touch the pool) and serving-tier reports.
-  [[nodiscard]] std::uint64_t total_leases() const {
-    std::lock_guard<std::mutex> lock(m_);
+  [[nodiscard]] std::uint64_t total_leases() const GRIND_EXCLUDES(m_) {
+    sys::MutexLock lock(m_);
     return leases_;
   }
 
@@ -184,7 +197,7 @@ class WorkspacePool {
     int domain;  ///< domain of the lease that returned it (kAnyDomain: none)
   };
 
-  Lease take(std::unique_lock<std::mutex>&, int domain) {
+  Lease take(int domain) GRIND_REQUIRES(m_) {
     std::unique_ptr<engine::TraversalWorkspace> ws;
     if (!idle_.empty()) {
       // Preference order: (1) idle workspace warm on the requested domain
@@ -220,27 +233,29 @@ class WorkspacePool {
   // pool still reaches its full cap once memory pressure clears.  No notify
   // is needed on the throw path — waiters only block when created_ == cap_,
   // and this path runs only when created_ < cap_.
-  std::unique_ptr<engine::TraversalWorkspace> create_workspace() {
+  std::unique_ptr<engine::TraversalWorkspace> create_workspace()
+      GRIND_REQUIRES(m_) {
     if (GRIND_FAULT_FIRE("pool.workspace-alloc")) throw std::bad_alloc();
     auto ws = std::make_unique<engine::TraversalWorkspace>();
     ++created_;
     return ws;
   }
 
-  void check_in(std::unique_ptr<engine::TraversalWorkspace> ws, int domain) {
+  void check_in(std::unique_ptr<engine::TraversalWorkspace> ws, int domain)
+      GRIND_EXCLUDES(m_) {
     {
-      std::lock_guard<std::mutex> lock(m_);
+      sys::MutexLock lock(m_);
       idle_.push_back(Idle{std::move(ws), domain});
     }
     cv_.notify_one();
   }
 
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::vector<Idle> idle_;
-  std::size_t created_ = 0;
-  std::uint64_t leases_ = 0;
-  bool closed_ = false;
+  mutable sys::Mutex m_;
+  sys::CondVar cv_;
+  std::vector<Idle> idle_ GRIND_GUARDED_BY(m_);
+  std::size_t created_ GRIND_GUARDED_BY(m_) = 0;
+  std::uint64_t leases_ GRIND_GUARDED_BY(m_) = 0;
+  bool closed_ GRIND_GUARDED_BY(m_) = false;
   const std::size_t cap_;
 };
 

@@ -58,7 +58,7 @@ int NumaArenas::physical_nodes() { return physical_nodes_cached(); }
 
 void NumaArenas::account(int domain, std::int64_t delta) {
   if (domain < 0) domain = 0;
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   if (static_cast<std::size_t>(domain) >= bytes_.size())
     bytes_.resize(static_cast<std::size_t>(domain) + 1, 0);
   bytes_[static_cast<std::size_t>(domain)] += delta;
@@ -119,26 +119,26 @@ void NumaArenas::place(const void* p, std::size_t bytes, int domain) {
 
 std::uint64_t NumaArenas::bytes_on(int domain) const {
   if (domain < 0) domain = 0;
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   if (static_cast<std::size_t>(domain) >= bytes_.size()) return 0;
   const std::int64_t b = bytes_[static_cast<std::size_t>(domain)];
   return b > 0 ? static_cast<std::uint64_t>(b) : 0;
 }
 
 std::uint64_t NumaArenas::total_bytes() const {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   std::int64_t total = 0;
   for (std::int64_t b : bytes_) total += b > 0 ? b : 0;
   return static_cast<std::uint64_t>(total);
 }
 
 int NumaArenas::domains_touched() const {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   return static_cast<int>(bytes_.size());
 }
 
 void NumaArenas::reset_stats() {
-  std::lock_guard<std::mutex> lock(m_);
+  sys::MutexLock lock(m_);
   bytes_.clear();
 }
 

@@ -27,9 +27,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <type_traits>
 #include <vector>
+
+#include "sys/thread_safety.hpp"
 
 namespace grind {
 
@@ -73,8 +74,8 @@ class NumaArenas {
   NumaArenas() = default;
   void account(int domain, std::int64_t delta);
 
-  mutable std::mutex m_;
-  std::vector<std::int64_t> bytes_;
+  mutable sys::Mutex m_;
+  std::vector<std::int64_t> bytes_ GRIND_GUARDED_BY(m_);
 };
 
 /// Pin the calling thread to the physical node backing `domain` (no-op in

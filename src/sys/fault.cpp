@@ -4,10 +4,10 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "sys/rng.hpp"
+#include "sys/thread_safety.hpp"
 
 namespace grind::sys::fault {
 namespace {
@@ -20,8 +20,8 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex m;
-  std::map<std::string, Site> sites;
+  sys::Mutex m;
+  std::map<std::string, Site> sites GRIND_GUARDED_BY(m);
 };
 
 Registry& registry() {
@@ -48,7 +48,7 @@ bool decide(Site& s) {
 
 void arm(const std::string& site, Spec spec) {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.m);
+  sys::MutexLock lock(reg.m);
   Site s;
   s.spec = spec;
   s.rng = SplitMix64(spec.seed);
@@ -57,13 +57,13 @@ void arm(const std::string& site, Spec spec) {
 
 void disarm_all() {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.m);
+  sys::MutexLock lock(reg.m);
   reg.sites.clear();
 }
 
 bool fire(const std::string& site) {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.m);
+  sys::MutexLock lock(reg.m);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return false;
   return decide(it->second);
@@ -73,7 +73,7 @@ void stall(const std::string& site) {
   std::uint32_t ms = 0;
   {
     auto& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.m);
+    sys::MutexLock lock(reg.m);
     auto it = reg.sites.find(site);
     if (it == reg.sites.end()) return;
     if (decide(it->second)) ms = it->second.spec.stall_ms;
@@ -83,14 +83,14 @@ void stall(const std::string& site) {
 
 std::uint64_t hits(const std::string& site) {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.m);
+  sys::MutexLock lock(reg.m);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t triggered(const std::string& site) {
   auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.m);
+  sys::MutexLock lock(reg.m);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.fired;
 }

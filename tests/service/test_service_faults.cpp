@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -199,6 +201,53 @@ TEST_F(ServiceFault, ChaosSweepLeavesNoLeakedLeasesOrHungFutures) {
   const QueryResult ok = svc.submit(QueryRequest("CC")).get();
   EXPECT_TRUE(ok.ok()) << ok.error;
   EXPECT_EQ(svc.pool().in_use(), 0u);
+}
+
+TEST_F(ServiceFault, StallNeverSleepsHoldingTheRegistryMutex) {
+  // Regression guard for the fault registry's locking contract: stall()
+  // must decide whether to fire (and for how long) under the registry
+  // mutex, then SLEEP AFTER RELEASING IT — otherwise every concurrent
+  // arm()/disarm_all()/fire() in the process serialises behind an injected
+  // stall, and the chaos sweep's 4-worker timing collapses to sequential
+  // (masking exactly the interleavings it exists to exercise).  The
+  // annotations can't see through std::this_thread::sleep_for, so this is
+  // pinned behaviourally: fire a long stall on one thread, then prove
+  // registry mutations complete orders of magnitude faster than the stall.
+  using clock = std::chrono::steady_clock;
+  constexpr std::uint32_t kStallMs = 1000;
+
+  sys::fault::Spec spec;
+  spec.stall_ms = kStallMs;
+  sys::fault::arm("unit.long-stall", spec);
+
+  std::promise<void> entered;
+  std::thread sleeper([&] {
+    entered.set_value();
+    sys::fault::stall("unit.long-stall");  // sleeps ~kStallMs
+  });
+  entered.get_future().wait();
+  // Give the sleeper time to pass the registry critical section and enter
+  // the sleep itself; a held-while-sleeping bug keeps the mutex for the
+  // full second regardless of this delay.
+  std::this_thread::sleep_for(milliseconds(50));
+
+  const auto t0 = clock::now();
+  sys::fault::Spec other;
+  other.limit = 1;
+  sys::fault::arm("unit.other-site", other);            // takes the mutex
+  EXPECT_TRUE(sys::fault::fire("unit.other-site"));     // takes the mutex
+  sys::fault::disarm_all();                             // takes the mutex
+  const auto elapsed =
+      std::chrono::duration_cast<milliseconds>(clock::now() - t0);
+
+  // Generous CI margin: registry ops are microseconds; even a pathological
+  // scheduler hiccup stays far below the 1000 ms stall they would inherit
+  // if stall() slept under the lock.
+  EXPECT_LT(elapsed.count(), static_cast<long>(kStallMs) / 2)
+      << "registry mutation blocked behind an in-flight stall — stall() is "
+         "sleeping with the registry mutex held";
+
+  sleeper.join();
 }
 
 TEST_F(ServiceFault, ShutdownUnderChaosNeverHangs) {

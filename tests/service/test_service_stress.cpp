@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <future>
@@ -369,6 +370,40 @@ TEST(ServiceStress, ShutdownCancelsQueuedBatchSlices) {
   for (const auto& r : results) {
     EXPECT_EQ(r.status, QueryStatus::kCancelled) << to_string(r.status);
     EXPECT_TRUE(r.value.empty());
+  }
+}
+
+TEST(ServiceStress, ObserversDuringShutdownAreRaceFree) {
+  // Regression for a real data race the thread-safety annotation pass
+  // surfaced (docs/STATIC_ANALYSIS.md): num_workers() read workers_.size()
+  // with no synchronisation while shutdown() concurrently join()ed and
+  // clear()ed the same vector.  workers_ is now GUARDED_BY(shutdown_m_);
+  // this test drives every metrics observer concurrently with shutdown()
+  // so the CI TSan job re-detects the race if the guard ever regresses.
+  for (int round = 0; round < 8; ++round) {
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    GraphService svc(build_test_graph(), cfg);
+    std::vector<std::future<QueryResult>> work;
+    for (int i = 0; i < 4; ++i) work.push_back(svc.submit(make_request("CC")));
+
+    std::atomic<bool> stop{false};
+    std::thread observer([&] {
+      std::size_t sink = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        sink += svc.num_workers();
+        sink += svc.queue_depth();
+        sink += static_cast<std::size_t>(svc.stats().queries_completed);
+      }
+      EXPECT_GE(sink, 0u);  // keep the loop observable
+    });
+
+    svc.shutdown();  // joins + clears workers_ while the observer reads
+    stop.store(true, std::memory_order_relaxed);
+    observer.join();
+    EXPECT_EQ(svc.num_workers(), 0u);
+
+    for (auto& f : work) (void)f.get();  // resolved, not leaked
   }
 }
 

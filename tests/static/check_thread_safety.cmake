@@ -1,0 +1,50 @@
+# Compile-fail harness for the thread-safety annotations (ctest tests
+# `thread_safety_compile_fail` / `thread_safety_compile_ok`, Clang only).
+#
+# Invoked in script mode:
+#   cmake -DCOMPILER=<clang++> -DINCLUDE_DIR=<repo>/src -DTU=<file.cpp>
+#         -DEXPECT=FAIL|PASS -DSTD=c++17
+#         -P check_thread_safety.cmake
+#
+# EXPECT=FAIL additionally requires the diagnostic to mention
+# "thread-safety" so an unrelated compile error (bad include path, syntax
+# rot in the fixture) cannot masquerade as the annotations working.
+if(NOT COMPILER OR NOT TU OR NOT INCLUDE_DIR OR NOT EXPECT)
+  message(FATAL_ERROR "check_thread_safety.cmake: COMPILER, TU, INCLUDE_DIR "
+                      "and EXPECT are all required")
+endif()
+if(NOT STD)
+  set(STD "c++17")
+endif()
+
+execute_process(
+  COMMAND "${COMPILER}" "-std=${STD}" -fsyntax-only
+          -Wthread-safety -Werror=thread-safety
+          "-I${INCLUDE_DIR}" "${TU}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "Seeded violation ${TU} compiled CLEAN — the thread-safety "
+      "annotations are not being enforced (macro no-op under this "
+      "compiler, or flags dropped).")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "${TU} failed to compile, but not with a thread-safety diagnostic — "
+      "the harness is broken, not proving anything:\n${err}")
+  endif()
+  message(STATUS "OK: seeded violation rejected with a thread-safety error")
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "Control TU ${TU} must compile clean under -Wthread-safety but "
+      "failed:\n${err}")
+  endif()
+  message(STATUS "OK: control TU compiles clean")
+else()
+  message(FATAL_ERROR "EXPECT must be FAIL or PASS, got '${EXPECT}'")
+endif()

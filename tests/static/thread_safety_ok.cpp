@@ -1,0 +1,47 @@
+// Control for the compile-fail harness: identical shape to
+// thread_safety_violation.cpp but with the lock correctly held at every
+// guarded access.  This TU must compile CLEAN under -Wthread-safety
+// -Werror=thread-safety — it proves the harness's failure signal comes from
+// the seeded violation, not from the include path, flags, or a broken
+// sys/thread_safety.hpp.
+#include <cstddef>
+#include <deque>
+
+#include "sys/thread_safety.hpp"
+
+namespace {
+
+class QueueHolder {
+ public:
+  void push(int v) {
+    grind::sys::MutexLock lock(m_);
+    queue_.push_back(v);
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    grind::sys::MutexLock lock(m_);
+    return queue_.size();
+  }
+
+  void drain() {
+    grind::sys::UniqueLock lock(m_);
+    while (queue_.empty()) cv_.wait(lock);  // guarded read: lock is held
+    queue_.clear();
+  }
+
+  void wake() { cv_.notify_all(); }
+
+ private:
+  mutable grind::sys::Mutex m_;
+  grind::sys::CondVar cv_;
+  std::deque<int> queue_ GRIND_GUARDED_BY(m_);
+};
+
+}  // namespace
+
+int main() {
+  QueueHolder h;
+  h.push(1);
+  h.wake();
+  return static_cast<int>(h.depth()) - 1;
+}

@@ -1,0 +1,40 @@
+// Seeded thread-safety violation — this TU must FAIL to compile under
+// -Wthread-safety -Werror=thread-safety.  It models the GraphService queue
+// pattern (a container guarded by a mutex) and reads the guarded member
+// without holding the lock, exactly the defect class the annotations exist
+// to reject.  The compile-fail harness (tests/static/check_thread_safety
+// .cmake, registered by CMakeLists.txt on Clang builds) asserts the
+// compiler rejects it with a thread-safety diagnostic; the companion
+// thread_safety_ok.cpp is the control that must compile.  If this file ever
+// compiles cleanly the annotations have been silently defeated — treat that
+// as a build break, not a flaky test.
+#include <cstddef>
+#include <deque>
+
+#include "sys/thread_safety.hpp"
+
+namespace {
+
+class QueueHolder {
+ public:
+  void push(int v) {
+    grind::sys::MutexLock lock(m_);
+    queue_.push_back(v);
+  }
+
+  // BUG (deliberate): reads queue_ without m_ held.  Clang must reject this
+  // with "reading variable 'queue_' requires holding mutex 'm_'".
+  [[nodiscard]] std::size_t depth() const { return queue_.size(); }
+
+ private:
+  mutable grind::sys::Mutex m_;
+  std::deque<int> queue_ GRIND_GUARDED_BY(m_);
+};
+
+}  // namespace
+
+int main() {
+  QueueHolder h;
+  h.push(1);
+  return static_cast<int>(h.depth());
+}
