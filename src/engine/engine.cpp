@@ -40,6 +40,11 @@ std::string to_string(Layout l) {
 
 std::string Engine::stats_report() const {
   std::ostringstream os;
+  // Attribute the numbers to the build that produced them: every figure
+  // below (layout mix, atomic elision, domain affinity) is a function of
+  // the partitioning strategy the graph was built with, so a report that
+  // omits it cannot be compared across fig3-matrix rows.
+  os << "partitioner: " << graph().build_options().partitioner << '\n';
   os << "edge_map traversals: " << stats_.total_calls() << '\n';
   static constexpr TraversalKind kKinds[] = {
       TraversalKind::kSparseCsr, TraversalKind::kBackwardCsc,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
+#include "partition/registry.hpp"
 #include "sys/arena.hpp"
 #include "sys/parallel.hpp"
 
@@ -41,21 +43,28 @@ GraphBuilder::GraphBuilder(EdgeList el, BuildOptions opts)
     : el_(std::move(el)),
       opts_(opts),
       requested_partitions_(opts.num_partitions),
+      requested_ppart_(opts.partitioner_params),
       numa_(opts.numa_domains) {}
+
+void GraphBuilder::reset_relabel() {
+  // order()/assign() permute el_ in place; before a new relabeling can be
+  // computed the edge list must be restored to original IDs — otherwise
+  // the next run would relabel an already-relabeled list and the remap
+  // would no longer map the caller's ID space.  remap_ is the *composed*
+  // (ordering ∘ assignment) bijection, so one undo covers both stages.
+  if (order_done_ && !remap_.is_identity()) {
+    el_ = apply_vertex_remap(el_, remap_, RemapDirection::kToOriginal);
+    remap_ = VertexRemap();
+  }
+  assign_identity_ = true;
+  order_done_ = assign_done_ = partition_done_ = index_done_ = coo_done_ =
+      pcsr_done_ = pcpm_done_ = false;
+}
 
 GraphBuilder& GraphBuilder::with_ordering(VertexOrdering o) {
   if (opts_.ordering != o) {
-    // order() permutes el_ in place, so before the new ordering can be
-    // computed the edge list must be restored to original IDs — otherwise
-    // the next order() would relabel an already-relabeled list and the
-    // remap would no longer map the caller's ID space.
-    if (order_done_ && !remap_.is_identity()) {
-      el_ = apply_vertex_remap(el_, remap_, RemapDirection::kToOriginal);
-      remap_ = VertexRemap();
-    }
     opts_.ordering = o;
-    order_done_ = partition_done_ = index_done_ = coo_done_ = pcsr_done_ =
-        pcpm_done_ = false;
+    reset_relabel();
   }
   return *this;
 }
@@ -64,10 +73,42 @@ GraphBuilder& GraphBuilder::with_partitions(part_t p) {
   if (requested_partitions_ != p) {
     requested_partitions_ = p;
     opts_.num_partitions = p;
-    partition_done_ = coo_done_ = pcsr_done_ = pcpm_done_ = false;
-    // The CSR/CSC arrays themselves survive a partition change, but their
-    // page placement follows partition boundaries and must be redone.
-    index_placed_ = false;
+    if (assign_done_ && !assign_identity_) {
+      // The folded-in assignment permutation depends on P; unwind it so
+      // the strategy can re-run against the freshly ordered edge list.
+      reset_relabel();
+    } else {
+      assign_done_ = partition_done_ = coo_done_ = pcsr_done_ = pcpm_done_ =
+          false;
+      // The CSR/CSC arrays themselves survive a partition change, but
+      // their page placement follows partition boundaries and must be
+      // redone.
+      index_placed_ = false;
+    }
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::with_partitioner(std::string name,
+                                             algorithms::Params params) {
+  // Params carries no operator==; the canonical fingerprint (stable,
+  // bit-exact — params.hpp) is the equality the result cache already
+  // trusts, so reuse it for change detection.
+  const bool same =
+      opts_.partitioner == name &&
+      algorithms::canonical_fingerprint(requested_ppart_) ==
+          algorithms::canonical_fingerprint(params);
+  if (!same) {
+    opts_.partitioner = std::move(name);
+    requested_ppart_ = std::move(params);
+    opts_.partitioner_params = requested_ppart_;
+    if (assign_done_ && !assign_identity_) {
+      reset_relabel();
+    } else {
+      assign_done_ = partition_done_ = coo_done_ = pcsr_done_ = pcpm_done_ =
+          false;
+      index_placed_ = false;
+    }
   }
   return *this;
 }
@@ -118,16 +159,68 @@ void GraphBuilder::resolve_partition_count() {
   opts_.num_partitions = numa_.admissible_partitions(p);
 }
 
-GraphBuilder& GraphBuilder::partition() {
+GraphBuilder& GraphBuilder::assign() {
   order();
-  if (partition_done_) return *this;
+  if (assign_done_) return *this;
   resolve_partition_count();
+
+  const partition::PartitionerDesc& desc =
+      partition::PartitionerRegistry::instance().at(opts_.partitioner);
+  const algorithms::Params resolved = desc.resolve(requested_ppart_);
+
+  partition::PartitionOptions popts;
+  popts.by = partition::PartitionBy::kDestination;
+  popts.balance = partition::BalanceMode::kEdges;
+  popts.boundary_align = opts_.boundary_align;
+
+  const std::vector<part_t> assignment =
+      desc.run(el_, opts_.num_partitions, popts, resolved);
+  partition::AssignmentPlan plan = partition::plan_assignment(
+      assignment, opts_.num_partitions, opts_.boundary_align);
+
+  assign_identity_ = plan.remap.is_identity();
+  if (!assign_identity_) {
+    el_ = apply_vertex_remap(el_, plan.remap);
+    // Compose: final internal ← assignment sort ← ordering ← original.
+    std::vector<vid_t> to_original(el_.num_vertices());
+    for (vid_t i = 0; i < el_.num_vertices(); ++i)
+      to_original[i] = remap_.to_original(plan.remap.to_original(i));
+    remap_ = VertexRemap::from_internal_order(std::move(to_original));
+    // el_ was just re-permuted; any layout built over the old numbering
+    // is stale even if its done-flag survived a cheap setter path.
+    index_done_ = coo_done_ = pcsr_done_ = pcpm_done_ = false;
+  }
+  assign_ranges_ = std::move(plan.ranges);
+  // Like num_partitions, the options the Graph carries hold the resolved
+  // bag so stats/reports show the defaults the strategy actually saw.
+  opts_.partitioner_params = resolved;
+  assign_done_ = true;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::partition() {
+  assign();
+  if (partition_done_) return *this;
 
   partition::PartitionOptions popts;
   popts.by = partition::PartitionBy::kDestination;
   popts.boundary_align = opts_.boundary_align;
   popts.balance = partition::BalanceMode::kEdges;
-  part_edges_ = partition::make_partitioning(el_, opts_.num_partitions, popts);
+  // The edge-balanced partitioning adopts the assign stage's ranges (for
+  // the contiguous baseline these are exactly Algorithm 1's boundaries);
+  // its per-partition edge counts are the in-degree mass each range holds
+  // under partition-by-destination.
+  {
+    const std::vector<eid_t> degrees = el_.in_degrees();
+    std::vector<eid_t> counts(assign_ranges_.size(), 0);
+    std::vector<eid_t> cum(degrees.size() + 1, 0);
+    for (std::size_t v = 0; v < degrees.size(); ++v)
+      cum[v + 1] = cum[v] + degrees[v];
+    for (std::size_t p = 0; p < assign_ranges_.size(); ++p)
+      counts[p] = cum[assign_ranges_[p].end] - cum[assign_ranges_[p].begin];
+    part_edges_ = partition::Partitioning(assign_ranges_, std::move(counts),
+                                          popts);
+  }
   popts.balance = partition::BalanceMode::kVertices;
   part_vertices_ =
       partition::make_partitioning(el_, opts_.num_partitions, popts);

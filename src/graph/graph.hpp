@@ -17,6 +17,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include <string>
+
+#include "algorithms/params.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/reorder.hpp"
@@ -24,6 +27,7 @@
 #include "partition/partitioned_csr.hpp"
 #include "partition/pcpm_bins.hpp"
 #include "partition/partitioner.hpp"
+#include "partition/registry.hpp"
 #include "sys/numa.hpp"
 #include "sys/types.hpp"
 
@@ -40,6 +44,16 @@ struct BuildOptions {
   part_t num_partitions = 0;
   /// Intra-partition COO edge order (§IV-C).
   partition::EdgeOrder coo_order = partition::EdgeOrder::kSource;
+  /// Partitioning strategy, looked up in the PartitionerRegistry
+  /// (partition/registry.hpp).  The default is the paper's Algorithm-1
+  /// contiguous split; any registered strategy composes through the
+  /// builder's assign stage with no other knob changing meaning.
+  std::string partitioner = partition::kContiguousPartitioner;
+  /// Strategy parameters ("--ppart key=value" in ggtool), validated
+  /// against the strategy's declared schema.  After a build this holds the
+  /// schema-resolved bag (defaults filled in), like num_partitions holds
+  /// the resolved count.
+  algorithms::Params partitioner_params;
   /// Partition boundary alignment in vertices; 64 keeps bitmap writes
   /// single-writer.  Tests may lower it.
   vid_t boundary_align = 64;

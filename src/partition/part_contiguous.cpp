@@ -1,0 +1,43 @@
+// Baseline strategy: the paper's Algorithm 1 contiguous split, exposed
+// through the registry so every surface treats it uniformly.
+//
+// The assignment is exactly what make_partitioning() computes — contiguous
+// aligned ranges balancing cumulative in-degree — expanded to per-vertex
+// form.  Because it is monotone non-decreasing, plan_assignment() collapses
+// the permutation to the identity and re-derives the very same aligned
+// boundaries, so a build through the registry path is bit-for-bit the
+// pre-registry build (the bench-smoke CI gate asserts this).
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "partition/registration.hpp"
+#include "partition/registry.hpp"
+
+namespace grind::partition {
+namespace {
+
+PartitionerDesc make_desc() {
+  PartitionerDesc d;
+  d.name = kContiguousPartitioner;
+  d.title = "Algorithm-1 contiguous ranges, edge-balanced (paper baseline)";
+  d.list_order = 0;
+  d.caps.streaming = false;
+  d.caps.needs_degrees = true;
+  d.caps.deterministic = true;
+  d.run = [](const graph::EdgeList& el, part_t num_partitions,
+             const PartitionOptions& opts, const algorithms::Params&) {
+    const Partitioning parts = make_partitioning(el, num_partitions, opts);
+    std::vector<part_t> assignment(el.num_vertices());
+    for (part_t p = 0; p < parts.num_partitions(); ++p) {
+      const VertexRange r = parts.range(p);
+      for (vid_t v = r.begin; v < r.end; ++v) assignment[v] = p;
+    }
+    return assignment;
+  };
+  return d;
+}
+
+const RegisterPartitioner kRegisterContiguous(make_desc());
+
+}  // namespace
+}  // namespace grind::partition

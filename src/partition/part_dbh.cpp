@@ -1,0 +1,75 @@
+// Degree-based hashing (DBH), adapted from the NIPS'14 edge partitioner
+// (SNIPPETS.md §2) to this repo's vertex-partitioned model: low-degree
+// vertices are hashed (cheap, balanced in expectation), while hubs —
+// vertices whose partition-relevant degree exceeds `hub_factor` × the
+// mean — are routed greedily to the partition with the least accumulated
+// degree mass at arrival.  The intuition carries over directly: hashing
+// decides placement by the low-degree end of the skew, and the heavy tail
+// is handled explicitly so no partition accumulates several hubs.
+//
+// Single pass over the vertex stream with O(P) state → streaming-capable.
+// The load accounting uses in-degree, matching partition-by-destination
+// (a vertex's home partition owns its in-edges).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "partition/registration.hpp"
+#include "partition/registry.hpp"
+#include "partition/strategy_util.hpp"
+
+namespace grind::partition {
+namespace {
+
+PartitionerDesc make_desc() {
+  PartitionerDesc d;
+  d.name = "dbh";
+  d.title = "degree-based hashing: hash the tail, greedy-place the hubs";
+  d.list_order = 30;
+  d.caps.streaming = true;
+  d.caps.needs_degrees = true;
+  d.caps.deterministic = true;
+  d.schema = {
+      algorithms::spec_int("seed", "hash seed", 1, 0, 1e15),
+      algorithms::spec_real("hub_factor",
+                            "degree multiple of the mean above which a "
+                            "vertex is placed greedily instead of hashed",
+                            8.0, 1.0, 1e9),
+  };
+  d.run = [](const graph::EdgeList& el, part_t num_partitions,
+             const PartitionOptions&, const algorithms::Params& params) {
+    const auto seed = static_cast<std::uint64_t>(params.get_int("seed"));
+    const double hub_factor = params.get_real("hub_factor");
+    const vid_t n = el.num_vertices();
+    const std::vector<eid_t> deg = el.in_degrees();
+
+    const double mean =
+        n == 0 ? 0.0
+               : static_cast<double>(el.num_edges()) / static_cast<double>(n);
+    const double hub_cut = hub_factor * mean;
+
+    std::vector<part_t> assignment(n);
+    std::vector<eid_t> load(num_partitions, 0);
+    for (vid_t v = 0; v < n; ++v) {
+      part_t p;
+      if (static_cast<double>(deg[v]) > hub_cut) {
+        // Hub: least accumulated in-degree mass, ties to the smallest
+        // partition index (deterministic).
+        p = 0;
+        for (part_t q = 1; q < num_partitions; ++q)
+          if (load[q] < load[p]) p = q;
+      } else {
+        p = strategy::hash_to_partition(v, seed, num_partitions);
+      }
+      assignment[v] = p;
+      load[p] += deg[v];
+    }
+    return assignment;
+  };
+  return d;
+}
+
+const RegisterPartitioner kRegisterDbh(make_desc());
+
+}  // namespace
+}  // namespace grind::partition

@@ -1,0 +1,38 @@
+// Random hashed vertex partitioning — the classical baseline every
+// streaming-partitioner study anchors against (SNIPPETS.md §2): perfect
+// expected balance, worst-case locality.  Useful as the pessimal end of
+// the replication-factor axis in the fig3 matrix.
+#include <cstdint>
+#include <vector>
+
+#include "partition/registration.hpp"
+#include "partition/registry.hpp"
+#include "partition/strategy_util.hpp"
+
+namespace grind::partition {
+namespace {
+
+PartitionerDesc make_desc() {
+  PartitionerDesc d;
+  d.name = "random";
+  d.title = "hashed random vertex assignment (locality-free baseline)";
+  d.list_order = 10;
+  d.caps.streaming = true;
+  d.caps.needs_degrees = false;
+  d.caps.deterministic = true;
+  d.schema = {algorithms::spec_int("seed", "hash seed", 1, 0, 1e15)};
+  d.run = [](const graph::EdgeList& el, part_t num_partitions,
+             const PartitionOptions&, const algorithms::Params& params) {
+    const auto seed = static_cast<std::uint64_t>(params.get_int("seed"));
+    std::vector<part_t> assignment(el.num_vertices());
+    for (vid_t v = 0; v < el.num_vertices(); ++v)
+      assignment[v] = strategy::hash_to_partition(v, seed, num_partitions);
+    return assignment;
+  };
+  return d;
+}
+
+const RegisterPartitioner kRegisterRandom(make_desc());
+
+}  // namespace
+}  // namespace grind::partition

@@ -46,6 +46,15 @@ double Partitioning::edge_imbalance() const {
          static_cast<double>(total);
 }
 
+double Partitioning::vertex_imbalance() const {
+  vid_t peak = 0;
+  for (const VertexRange& r : ranges_) peak = std::max(peak, r.size());
+  const vid_t total = num_vertices();
+  if (num_partitions() == 0 || total == 0) return 1.0;
+  return static_cast<double>(peak) * static_cast<double>(num_partitions()) /
+         static_cast<double>(total);
+}
+
 namespace {
 
 vid_t align_up(vid_t v, vid_t align, vid_t n) {
@@ -59,6 +68,14 @@ vid_t align_up(vid_t v, vid_t align, vid_t n) {
 Partitioning make_partitioning_from_degrees(const std::vector<eid_t>& degrees,
                                             part_t num_partitions,
                                             PartitionOptions opts) {
+  // The header has always demanded a power of two (alignment interacts with
+  // the 64-bit frontier-bitmap words); enforce it instead of silently
+  // producing boundaries that break the single-writer guarantee.
+  if (opts.boundary_align == 0 ||
+      (opts.boundary_align & (opts.boundary_align - 1)) != 0)
+    throw std::invalid_argument(
+        "PartitionOptions::boundary_align must be a power of two, got " +
+        std::to_string(opts.boundary_align));
   const vid_t n = static_cast<vid_t>(degrees.size());
   if (num_partitions == 0) num_partitions = 1;
 

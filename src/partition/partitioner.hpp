@@ -97,6 +97,13 @@ class Partitioning {
   /// being measured).  1.0 for perfectly balanced or empty partitionings.
   [[nodiscard]] double edge_imbalance() const;
 
+  /// Same peak-over-mean metric for vertex counts: P·max(|range|)/|V|,
+  /// mean over all P partitions.  The second axis of the fig3 locality
+  /// matrix — a streaming partitioner can hold edge imbalance down while
+  /// piling vertices up (or vice versa), and vertex-oriented algorithms
+  /// feel the vertex figure.
+  [[nodiscard]] double vertex_imbalance() const;
+
   /// The partition ranges split into word-aligned kSubChunkVertices-sized
   /// sub-chunks — the schedulable work items of the backward-CSC traversal.
   /// Computed once at construction so the traversal hot path never rebuilds

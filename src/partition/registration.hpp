@@ -1,0 +1,29 @@
+// Self-registration entry point for partitioning-strategy translation units
+// — the partitioner-side twin of algorithms/registration.hpp.
+//
+// Each strategy .cpp declares one static RegisterPartitioner token:
+//
+//   namespace {
+//   const partition::RegisterPartitioner kReg(make_desc());
+//   }  // namespace
+//
+// The registry is populated during static initialisation, which requires
+// every strategy object file to be linked into the final binary: the grind
+// library is built as a CMake OBJECT library (top-level CMakeLists.txt)
+// precisely so no linker drops a registration-only object.
+#pragma once
+
+#include <utility>
+
+#include "partition/registry.hpp"
+
+namespace grind::partition {
+
+class RegisterPartitioner {
+ public:
+  explicit RegisterPartitioner(PartitionerDesc desc) {
+    PartitionerRegistry::instance().add(std::move(desc));
+  }
+};
+
+}  // namespace grind::partition

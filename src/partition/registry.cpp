@@ -1,0 +1,119 @@
+#include "partition/registry.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace grind::partition {
+
+PartitionerRegistry& PartitionerRegistry::instance() {
+  static PartitionerRegistry reg;
+  return reg;
+}
+
+void PartitionerRegistry::add(PartitionerDesc desc) {
+  if (desc.name.empty())
+    throw std::logic_error("PartitionerRegistry: empty strategy name");
+  if (!desc.run)
+    throw std::logic_error("PartitionerRegistry: strategy '" + desc.name +
+                           "' has no run hook");
+  for (const auto& d : descs_)
+    if (d.name == desc.name)
+      throw std::logic_error("PartitionerRegistry: duplicate strategy '" +
+                             desc.name + "'");
+  descs_.push_back(std::move(desc));
+}
+
+const PartitionerDesc* PartitionerRegistry::find(std::string_view name) const {
+  for (const auto& d : descs_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+const PartitionerDesc& PartitionerRegistry::at(std::string_view name) const {
+  const PartitionerDesc* d = find(name);
+  if (d == nullptr)
+    throw std::invalid_argument("unknown partitioner: " + std::string(name));
+  return *d;
+}
+
+std::vector<const PartitionerDesc*> PartitionerRegistry::entries() const {
+  std::vector<const PartitionerDesc*> out;
+  out.reserve(descs_.size());
+  for (const auto& d : descs_) out.push_back(&d);
+  std::sort(out.begin(), out.end(),
+            [](const PartitionerDesc* a, const PartitionerDesc* b) {
+              if (a->list_order != b->list_order)
+                return a->list_order < b->list_order;
+              return a->name < b->name;  // deterministic tiebreak
+            });
+  return out;
+}
+
+std::vector<std::string> PartitionerRegistry::names() const {
+  std::vector<std::string> out;
+  for (const PartitionerDesc* d : entries()) out.push_back(d->name);
+  return out;
+}
+
+namespace {
+
+vid_t align_up(vid_t v, vid_t align, vid_t n) {
+  if (align <= 1) return std::min(v, n);
+  const vid_t rounded = ((v + align - 1) / align) * align;
+  return std::min(rounded, n);
+}
+
+}  // namespace
+
+AssignmentPlan plan_assignment(const std::vector<part_t>& assignment,
+                               part_t num_partitions, vid_t boundary_align) {
+  const vid_t n = static_cast<vid_t>(assignment.size());
+  if (num_partitions == 0)
+    throw std::invalid_argument("plan_assignment: num_partitions must be > 0");
+  for (vid_t v = 0; v < n; ++v)
+    if (assignment[v] >= num_partitions)
+      throw std::invalid_argument(
+          "plan_assignment: vertex " + std::to_string(v) +
+          " assigned to partition " + std::to_string(assignment[v]) +
+          " >= num_partitions " + std::to_string(num_partitions));
+
+  // Stable counting sort by home partition: vertices keep their relative
+  // order inside a partition, so a monotone assignment yields the identity
+  // permutation (which from_internal_order collapses to a zero-cost remap).
+  std::vector<vid_t> counts(num_partitions, 0);
+  for (vid_t v = 0; v < n; ++v) ++counts[assignment[v]];
+
+  std::vector<vid_t> offset(static_cast<std::size_t>(num_partitions) + 1, 0);
+  for (part_t p = 0; p < num_partitions; ++p)
+    offset[p + 1] = offset[p] + counts[p];
+
+  std::vector<vid_t> to_original(n);  // new internal ID -> old internal ID
+  {
+    std::vector<vid_t> cursor(offset.begin(), offset.end() - 1);
+    for (vid_t v = 0; v < n; ++v) to_original[cursor[assignment[v]]++] = v;
+  }
+
+  // Contiguous ranges over the sorted space, boundaries snapped up to the
+  // alignment grid exactly as Algorithm 1 snaps its own (partitioner.cpp):
+  // alignment absorbs the first vertices of partition p+1 into p's range,
+  // which keeps frontier-bitmap words single-writer.  Monotonic by
+  // construction; the last range takes the remainder to n.
+  AssignmentPlan plan;
+  plan.remap = graph::VertexRemap::from_internal_order(std::move(to_original));
+  plan.ranges.resize(num_partitions);
+  vid_t prev = 0;
+  for (part_t p = 0; p < num_partitions; ++p) {
+    vid_t next = (p + 1 == num_partitions)
+                     ? n
+                     : align_up(offset[p + 1], boundary_align, n);
+    next = std::max(next, prev);
+    plan.ranges[p] = VertexRange{prev, next};
+    prev = next;
+  }
+  return plan;
+}
+
+}  // namespace grind::partition

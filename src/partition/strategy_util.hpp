@@ -1,0 +1,27 @@
+// Shared helpers for the streaming partitioner strategies (part_*.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "sys/types.hpp"
+
+namespace grind::partition::strategy {
+
+/// splitmix64 finaliser — the standard 64-bit avalanche mix.  Used as the
+/// hash for the random / block / DBH strategies so assignments are a pure
+/// function of (vertex, seed): deterministic across platforms, no
+/// std::hash (whose output is implementation-defined).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash `key` under `seed` into [0, buckets).
+inline part_t hash_to_partition(std::uint64_t key, std::uint64_t seed,
+                                part_t buckets) {
+  return static_cast<part_t>(mix64(key ^ mix64(seed)) % buckets);
+}
+
+}  // namespace grind::partition::strategy

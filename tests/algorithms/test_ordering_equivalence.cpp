@@ -1,12 +1,17 @@
-// Acceptance test for the staged build pipeline's vertex reordering: every
+// Acceptance test for the staged build pipeline's vertex relabelings: every
 // algorithm must produce identical results (up to FP summation-order
-// tolerance) under every VertexOrdering, compared in original-ID space
-// against the kOriginal run.  BFS levels and Bellman-Ford distances are
-// additionally pinned to the engine-independent reference oracles, so a
-// reordering bug cannot hide behind a matching pair of wrong runs.
+// tolerance) under every VertexOrdering — and, since the assign stage, under
+// every registered partitioning strategy — compared in original-ID space
+// against the kOriginal / contiguous run.  BFS levels and Bellman-Ford
+// distances are additionally pinned to the engine-independent reference
+// oracles, so a relabeling bug cannot hide behind a matching pair of wrong
+// runs.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "algorithms/bc.hpp"
@@ -14,13 +19,16 @@
 #include "algorithms/bellman_ford.hpp"
 #include "algorithms/bfs.hpp"
 #include "algorithms/cc.hpp"
+#include "algorithms/kcore.hpp"
 #include "algorithms/pagerank.hpp"
 #include "algorithms/pagerank_delta.hpp"
 #include "algorithms/ref/reference.hpp"
+#include "algorithms/registry.hpp"
 #include "algorithms/spmv.hpp"
 #include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "partition/registry.hpp"
 
 namespace grind::algorithms {
 namespace {
@@ -182,6 +190,120 @@ TEST_F(OrderingEquivalence, BeliefPropagationMatchesOriginalRun) {
     const graph::Graph g = build_ordered(road_, o);
     engine::Engine eng(g);
     expect_near(belief_propagation(eng).belief0, want, 1e-9, "BP belief", o);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner equivalence: the assign stage may permute the internal ID
+// space arbitrarily, but results are reported in original-ID space, so every
+// *registered* algorithm must produce the contiguous baseline's answer under
+// every *registered* partitioning strategy.  Both sweeps iterate their
+// registries — a new algorithm or partitioner is covered the moment it
+// self-registers, with no hand-kept list here.
+// ---------------------------------------------------------------------------
+
+void expect_near_vec(const std::vector<double>& got,
+                     const std::vector<double>& want, double tol,
+                     const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isinf(want[i])) {
+      ASSERT_TRUE(std::isinf(got[i])) << what << " at v=" << i;
+    } else {
+      ASSERT_NEAR(got[i], want[i], tol) << what << " at v=" << i;
+    }
+  }
+}
+
+/// Typed comparison of two AnyResults known to hold the same concrete
+/// result struct.  Deterministic fields compare exactly; floating-point
+/// vectors allow summation-order noise (the permuted edge list changes
+/// accumulation order).  BFS/BC parents are one valid tree among many, so
+/// the parent is checked against the level invariant, not for identity.
+void expect_result_equivalent(const AnyResult& got, const AnyResult& want,
+                              vid_t source) {
+  if (const auto* w = want.try_as<BfsResult>()) {
+    const auto& g = got.as<BfsResult>();
+    ASSERT_EQ(g.level, w->level);
+    EXPECT_EQ(g.reached, w->reached);
+    for (std::size_t v = 0; v < g.level.size(); ++v) {
+      if (g.level[v] < 0 || v == source) continue;
+      ASSERT_NE(g.parent[v], kInvalidVertex) << "v=" << v;
+      ASSERT_EQ(g.level[g.parent[v]], g.level[v] - 1) << "v=" << v;
+    }
+  } else if (const auto* w = want.try_as<PageRankResult>()) {
+    expect_near_vec(got.as<PageRankResult>().rank, w->rank, 1e-9, "PR rank");
+  } else if (const auto* w = want.try_as<PageRankDeltaResult>()) {
+    expect_near_vec(got.as<PageRankDeltaResult>().rank, w->rank, 1e-8,
+                    "PRDelta rank");
+  } else if (const auto* w = want.try_as<BellmanFordResult>()) {
+    expect_near_vec(got.as<BellmanFordResult>().dist, w->dist, 1e-9,
+                    "BF dist");
+  } else if (const auto* w = want.try_as<CcResult>()) {
+    const auto& g = got.as<CcResult>();
+    EXPECT_EQ(g.num_components, w->num_components);
+    ASSERT_EQ(g.labels, w->labels);
+  } else if (const auto* w = want.try_as<KcoreResult>()) {
+    const auto& g = got.as<KcoreResult>();
+    EXPECT_EQ(g.max_core, w->max_core);
+    ASSERT_EQ(g.core, w->core);
+  } else if (const auto* w = want.try_as<BcResult>()) {
+    const auto& g = got.as<BcResult>();
+    ASSERT_EQ(g.level, w->level);
+    expect_near_vec(g.sigma, w->sigma, 1e-6, "BC sigma");
+    expect_near_vec(g.dependency, w->dependency, 1e-6, "BC dependency");
+  } else if (const auto* w = want.try_as<SpmvResult>()) {
+    expect_near_vec(got.as<SpmvResult>().y, w->y, 1e-9, "SPMV y");
+  } else if (const auto* w = want.try_as<BeliefPropagationResult>()) {
+    expect_near_vec(got.as<BeliefPropagationResult>().belief0, w->belief0,
+                    1e-9, "BP belief0");
+  } else {
+    FAIL() << "unknown result type — teach expect_result_equivalent about it";
+  }
+}
+
+TEST(PartitionerEquivalence, AllAlgorithmsMatchContiguousUnderAllStrategies) {
+  // Symmetrized so CC's canonical labels are comparable, weighted so
+  // BF/SPMV/BP do non-trivial work (weights keyed by original edge, shared
+  // by every build).
+  graph::EdgeList el = graph::rmat(9, 8, 123);
+  std::mt19937_64 wrng(0x5eed);
+  std::uniform_real_distribution<float> wdist(0.5f, 4.5f);
+  for (auto& e : el.edges()) e.weight = wdist(wrng);
+  el.symmetrize();
+  const vid_t source = hub_source(el);
+
+  const auto& preg = partition::PartitionerRegistry::instance();
+  const auto algos = AlgorithmRegistry::instance().entries();
+  ASSERT_GE(preg.size(), 6u);
+  ASSERT_GE(algos.size(), 9u);
+
+  const auto run_all = [&](const std::string& pname) {
+    graph::BuildOptions bopts;
+    bopts.num_partitions = 8;
+    bopts.partitioner = pname;
+    const graph::Graph g = graph::Graph::build(graph::EdgeList(el), bopts);
+    std::map<std::string, AnyResult> results;
+    for (const AlgorithmDesc* desc : algos) {
+      SCOPED_TRACE("partitioner=" + pname + " algorithm=" + desc->name);
+      Params params =
+          desc->fuzz_params ? desc->fuzz_params(g.num_vertices()) : Params{};
+      if (desc->caps.needs_source) params.set("source", source);
+      engine::Engine eng(g);
+      results[desc->name] = desc->run_resolved(eng, desc->resolve(params, g));
+    }
+    return results;
+  };
+
+  const auto want = run_all(partition::kContiguousPartitioner);
+  for (const auto* pdesc : preg.entries()) {
+    if (pdesc->name == partition::kContiguousPartitioner) continue;
+    const auto got = run_all(pdesc->name);
+    for (const AlgorithmDesc* desc : algos) {
+      SCOPED_TRACE("partitioner=" + pdesc->name + " algorithm=" + desc->name);
+      expect_result_equivalent(got.at(desc->name), want.at(desc->name),
+                               source);
+    }
   }
 }
 

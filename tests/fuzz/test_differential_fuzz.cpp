@@ -31,6 +31,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/reorder.hpp"
+#include "partition/registry.hpp"
 
 namespace grind::algorithms {
 namespace {
@@ -105,9 +106,15 @@ struct Knobs {
   engine::Layout layout;
   engine::AtomicsMode atomics;
   int domains;  ///< NUMA-domain count: exercises domain-affine scheduling
+  /// Partitioning strategy for the build's assign stage.  Round-robin over
+  /// the registry (iteration mod size), not rng-drawn: with kCases ≥ the
+  /// registry size every strategy is guaranteed to be exercised, so the
+  /// count>0 assertion below can never flake.
+  const partition::PartitionerDesc* partitioner;
+  std::uint64_t partitioner_seed;  ///< fed to strategies with a "seed" param
 };
 
-Knobs make_knobs(std::mt19937_64& rng) {
+Knobs make_knobs(std::mt19937_64& rng, int iter) {
   const auto& orderings = graph::all_orderings();
   static constexpr part_t kParts[] = {0, 1, 2, 3, 5, 8};
   static constexpr vid_t kAligns[] = {8, 64};
@@ -131,6 +138,10 @@ Knobs make_knobs(std::mt19937_64& rng) {
   k.layout = kLayouts[rng() % std::size(kLayouts)];
   k.atomics = kAtomics[rng() % std::size(kAtomics)];
   k.domains = kDomains[rng() % std::size(kDomains)];
+  const auto partitioners = partition::PartitionerRegistry::instance().entries();
+  k.partitioner = partitioners[static_cast<std::size_t>(iter) %
+                               partitioners.size()];
+  k.partitioner_seed = rng() % 1000;
   return k;
 }
 
@@ -139,8 +150,13 @@ std::string layout_str(engine::Layout l) { return engine::to_string(l); }
 TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
   const auto entries = AlgorithmRegistry::instance().entries();
   ASSERT_GE(entries.size(), 9u);  // eight Table-II workloads + k-core
+  const auto partitioners = partition::PartitionerRegistry::instance().entries();
+  ASSERT_GE(partitioners.size(), 6u);
+  ASSERT_GE(kCases, static_cast<int>(partitioners.size()))
+      << "round-robin cannot cover the registry";
   std::map<std::string, int> exercised;
   std::map<std::string, int> checked;
+  std::map<std::string, int> partitioner_exercised;
 
   for (int iter = 0; iter < kCases; ++iter) {
     const std::uint64_t seed = kBaseSeed + static_cast<std::uint64_t>(iter);
@@ -149,7 +165,7 @@ TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
     const int family = static_cast<int>(rng() % 7);
     graph::EdgeList el = make_graph(family, rng);
     randomize_weights(el, rng);
-    const Knobs k = make_knobs(rng);
+    const Knobs k = make_knobs(rng, iter);
 
     std::ostringstream repro;
     repro << "reproducer: seed=" << seed << " (kBaseSeed+" << iter << ")"
@@ -159,7 +175,9 @@ TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
           << " partitions=" << k.partitions << " align=" << k.boundary_align
           << " layout=" << layout_str(k.layout)
           << " atomics=" << static_cast<int>(k.atomics)
-          << " domains=" << k.domains;
+          << " domains=" << k.domains
+          << " partitioner=" << k.partitioner->name
+          << " pseed=" << k.partitioner_seed;
     SCOPED_TRACE(repro.str());
 
     graph::BuildOptions bopts;
@@ -167,6 +185,10 @@ TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
     bopts.num_partitions = k.partitions;
     bopts.boundary_align = k.boundary_align;
     bopts.numa_domains = k.domains;
+    bopts.partitioner = k.partitioner->name;
+    if (k.partitioner->schema.find("seed") != nullptr)
+      bopts.partitioner_params.set("seed", k.partitioner_seed);
+    ++partitioner_exercised[k.partitioner->name];
     bopts.build_partitioned_csr =
         k.layout == engine::Layout::kPartitionedCsr;
     // Scatter-gather-capable algorithms take the message-bin path under
@@ -184,7 +206,10 @@ TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
 
     CheckContext cx;
     cx.el = &el;
-    cx.identity_ordering = k.ordering == graph::VertexOrdering::kOriginal;
+    // "Identity" now means the *composed* relabeling (ordering ∘ assign):
+    // a permuting partitioner breaks the label-propagation fixpoint's ID
+    // dependence just like a reordering does, so ask the built graph.
+    cx.identity_ordering = g.remap().is_identity();
 
     for (const AlgorithmDesc* desc : entries) {
       SCOPED_TRACE("algorithm=" + desc->name);
@@ -223,6 +248,12 @@ TEST(DifferentialFuzz, AllRegisteredAlgorithmsMatchOraclesAcrossConfigs) {
       EXPECT_GT(checked[desc->name], 0)
           << desc->name << " was never oracle-checked by the fuzz sweep";
   }
+  // Same for the partitioner registry: every strategy must have built at
+  // least one fuzzed graph (the round-robin guarantees it while the
+  // registry is no larger than kCases).
+  for (const auto* pdesc : partitioners)
+    EXPECT_GT(partitioner_exercised[pdesc->name], 0)
+        << pdesc->name << " was never exercised by the fuzz sweep";
 }
 
 TEST(DifferentialFuzz, DomainCountNeverChangesAlgorithmOutputs) {

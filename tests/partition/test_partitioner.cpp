@@ -156,6 +156,32 @@ TEST(Partitioner, PartitionOfThrowsOutOfRangeBeyondVertexSet) {
   EXPECT_THROW(parts.partition_of(kInvalidVertex), std::out_of_range);
 }
 
+TEST(Partitioner, BoundaryAlignMustBeAPowerOfTwo) {
+  // The aligned-boundary math (align_up, and the frontier bitmap's
+  // single-writer-per-word guarantee) is only sound for power-of-two
+  // alignments, so make_partitioning rejects everything else at entry
+  // instead of silently producing misaligned ranges.
+  const EdgeList el = graph::cycle(256);
+  for (const vid_t bad : {vid_t{0}, vid_t{3}, vid_t{48}, vid_t{65}}) {
+    PartitionOptions opts;
+    opts.boundary_align = bad;
+    try {
+      make_partitioning(el, 4, opts);
+      FAIL() << "boundary_align=" << bad << " was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("boundary_align"),
+                std::string::npos)
+          << "message must name the offending field: " << e.what();
+    }
+  }
+  for (const vid_t good : {vid_t{1}, vid_t{8}, vid_t{64}, vid_t{128}}) {
+    PartitionOptions opts;
+    opts.boundary_align = good;
+    EXPECT_NO_THROW(make_partitioning(el, 4, opts))
+        << "boundary_align=" << good;
+  }
+}
+
 TEST(Partitioner, PartitionOfOnEmptyPartitioningThrows) {
   const Partitioning parts;  // no ranges at all
   EXPECT_THROW(parts.partition_of(0), std::out_of_range);

@@ -1,20 +1,23 @@
 // ggtool — command-line front end to the library.
 //
 //   ggtool algos    [--codes]
+//   ggtool partitioners [--codes]
 //   ggtool generate <rmat|powerlaw|road> <out.bin> [scale|n] [ef|deg] [seed]
 //   ggtool convert  <in(.txt|.bin)> <out(.txt|.bin)>
 //   ggtool stats    <graph>
 //   ggtool partition-report <graph> <partitions> [domains]
+//                   [--partitioner NAME] [--ppart k=v]...
 //   ggtool run      <ALGO> <graph>
 //                   [--partitions N] [--layout auto|csc|coo|pcsr|pcpm]
 //                   [--order original|degree|hilbert|child]
+//                   [--partitioner NAME] [--ppart k=v]...
 //                   [--source V] [--param k=v]... [--threads T]
 //                   [--domains D] [--no-atomics]
 //   ggtool serve    <graph> [--clients N] [--pool-cap N] [--queries N]
 //                   [--script FILE] [--threads-per-query T]
 //                   [--deadline-ms MS] [--max-queue N] [--cache N]
 //                   [--graph NAME=PATH]... [--partitions N] [--order O]
-//                   [--domains D]
+//                   [--partitioner NAME] [--ppart k=v]... [--domains D]
 //
 // Algorithms are addressed by their registry paper code (`ggtool algos`
 // lists every registered algorithm with its flags and parameters; --codes
@@ -23,6 +26,13 @@
 // runnable here with no ggtool changes.  --param k=v (repeatable) passes
 // typed parameters validated against the algorithm's schema; --source V is
 // shorthand for --param source=V.
+//
+// Partitioning strategies work the same way through the
+// PartitionerRegistry (`ggtool partitioners` lists them; --codes is the
+// scripting surface): --partitioner NAME selects the build's strategy and
+// --ppart k=v (repeatable) passes its schema-validated parameters, for
+// run, serve and partition-report alike.  A newly registered strategy is
+// immediately usable here with no ggtool changes.
 //
 // serve executes a query script concurrently through a GraphService with
 // --clients worker threads.  Script lines are "[@GRAPH] ALGO [source]
@@ -48,7 +58,10 @@
 // sets the NUMA-domain count of the build (default 4).  run's info output
 // prints the traversal's home-domain visit ratio and a domain map with
 // partitions / edges / arena MiB per domain; partition-report prints the
-// same map without the arena column (it never builds a graph).
+// same map without the arena column (it runs only the order/assign/
+// partition stages — no layouts are materialised), plus a [partitioner]
+// section with the strategy, its resolved params, the replication factor
+// and both imbalance figures.
 //
 // Graph files: SNAP text edge lists (.txt/.el) or this library's binary
 // format (.bin).  Exit code 0 on success, 1 on usage errors, 2 on runtime
@@ -62,13 +75,16 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "algorithms/registry.hpp"
 #include "engine/engine.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "partition/registry.hpp"
 #include "partition/replication.hpp"
 #include "partition/storage_model.hpp"
 #include "service/graph_service.hpp"
@@ -113,26 +129,29 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  ggtool algos [--codes]\n"
+         "  ggtool partitioners [--codes]\n"
          "  ggtool generate <rmat|powerlaw|road> <out> [scale|n] [ef|deg] "
          "[seed]\n"
          "  ggtool convert <in> <out>\n"
          "  ggtool stats <graph>\n"
-         "  ggtool partition-report <graph> <partitions> [domains]\n"
+         "  ggtool partition-report <graph> <partitions> [domains] "
+         "[--partitioner P] [--ppart k=v]...\n"
          "  ggtool run <algo> <graph> [--partitions N] [--layout L] "
-         "[--order O] [--source V] [--param k=v]... [--threads T] "
-         "[--domains D] [--no-atomics]\n"
+         "[--order O] [--partitioner P] [--ppart k=v]... [--source V] "
+         "[--param k=v]... [--threads T] [--domains D] [--no-atomics]\n"
          "    algo = " +
              algo_codes_line() +
              " (see `ggtool algos`)\n"
              "    L = auto|csc|coo|pcsr|pcpm (traversal layout)\n"
              "    O = original|degree|hilbert|child (vertex reordering)\n"
+             "    P = partitioning strategy (see `ggtool partitioners`)\n"
              "    D = logical NUMA domains of the build (default 4)\n"
              "  ggtool serve <graph> [--clients N] [--pool-cap N] "
              "[--queries N] [--script FILE]\n"
              "               [--threads-per-query T] [--deadline-ms MS] "
              "[--max-queue N] [--cache N]\n"
              "               [--graph NAME=PATH]... [--partitions N] "
-             "[--order O] [--domains D]\n"
+             "[--order O] [--partitioner P] [--ppart k=v]... [--domains D]\n"
              "    script lines: \"[@GRAPH] ALGO [source] [k=v ...]\" or "
              "%load NAME PATH | %evict NAME |\n"
              "                  %epoch NAME | %graphs  (catalog commands "
@@ -214,6 +233,84 @@ int cmd_algos(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `ggtool partitioners`: the registered strategy catalogue, mirroring
+/// cmd_algos.  --codes prints one bare name per line (the stable scripting
+/// surface the partitioner-smoke CI job loops over).
+int cmd_partitioners(const std::vector<std::string>& args) {
+  const auto& registry = partition::PartitionerRegistry::instance();
+  if (!args.empty()) {
+    if (args.size() != 1 || args[0] != "--codes") return usage();
+    for (const auto* d : registry.entries()) std::cout << d->name << "\n";
+    return 0;
+  }
+  Table t("registered partitioners (" + std::to_string(registry.size()) +
+          ")");
+  t.header({"name", "flags", "params", "description"});
+  for (const auto* d : registry.entries()) {
+    std::string flags;
+    auto add_flag = [&](bool on, const char* name) {
+      if (!on) return;
+      if (!flags.empty()) flags += ",";
+      flags += name;
+    };
+    add_flag(d->caps.streaming, "stream");
+    add_flag(d->caps.needs_degrees, "degrees");
+    add_flag(d->caps.deterministic, "det");
+    t.row({d->name, flags, d->schema.summary(), d->title});
+  }
+  std::cout << t;
+  return 0;
+}
+
+/// Fold the --partitioner/--ppart flags into build options: look the
+/// strategy up in the registry and parse each k=v through its schema.
+/// Returns false (after a diagnostic) on unknown strategies, duplicate
+/// keys, or schema-rejected values.
+bool apply_partitioner_flags(const std::string& name,
+                             const std::vector<std::string>& ppart_kvs,
+                             graph::BuildOptions* bopts) {
+  const partition::PartitionerDesc* pdesc =
+      partition::PartitionerRegistry::instance().find(name);
+  if (pdesc == nullptr) {
+    std::cerr << "error: unknown partitioner '" << name
+              << "' (see `ggtool partitioners`)\n";
+    return false;
+  }
+  bopts->partitioner = name;
+  for (const std::string& kv : ppart_kvs) {
+    const std::string key = kv.substr(0, kv.find('='));
+    if (bopts->partitioner_params.has(key)) {
+      std::cerr << "error: duplicate partitioner parameter '" << key << "'\n";
+      return false;
+    }
+    try {
+      pdesc->schema.parse_kv(kv, &bopts->partitioner_params);
+    } catch (const std::exception& e) {
+      std::cerr << "error: --ppart " << e.what() << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// "k=v, …" rendering of a resolved parameter bag for report output.
+std::string params_summary(const algorithms::Params& p) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& e : p.entries()) {
+    if (!first) os << ", ";
+    first = false;
+    os << e.key << "=";
+    if (const auto* i = std::get_if<std::int64_t>(&e.value))
+      os << *i;
+    else if (const auto* d = std::get_if<double>(&e.value))
+      os << *d;
+    else
+      os << "<vec>";
+  }
+  return first ? std::string("(none)") : os.str();
+}
+
 int cmd_generate(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const std::string kind = args[0];
@@ -264,17 +361,57 @@ int cmd_stats(const std::string& path) {
   return 0;
 }
 
-int cmd_partition_report(const std::string& path, part_t parts, int domains) {
-  const auto el = load_any(path);
-  const auto partitioning = partition::make_partitioning(el, parts);
+int cmd_partition_report(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string path = args[0];
+  const part_t parts = static_cast<part_t>(std::stoul(args[1]));
+  int domains = NumaModel::kDefaultDomains;
+  std::string partitioner = partition::kContiguousPartitioner;
+  std::vector<std::string> ppart_kvs;
+  std::size_t i = 2;
+  if (i < args.size() && args[i].rfind("--", 0) != 0)
+    domains = std::stoi(args[i++]);
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : throw std::invalid_argument(a);
+    };
+    if (a == "--partitioner") {
+      partitioner = next();
+    } else if (a == "--ppart") {
+      ppart_kvs.push_back(next());
+    } else {
+      return usage();
+    }
+  }
+
+  graph::BuildOptions bopts;
+  bopts.num_partitions = parts;
+  bopts.numa_domains = domains;
+  if (!apply_partitioner_flags(partitioner, ppart_kvs, &bopts)) return 1;
+
+  // Run only the order/assign/partition stages of the build pipeline: no
+  // CSR/CSC/COO layouts (and hence no arena bytes) are materialised, but
+  // the partitioning — strategy assignment folded in, boundaries aligned,
+  // partition count rounded to a NUMA-admissible value — is exactly the
+  // one a full build with these options would carry, so the report is
+  // reproducible from any fig3-matrix row.
+  graph::GraphBuilder builder(load_any(path), bopts);
+  const auto& partitioning = builder.partitioning_edges();
+  const auto& el = builder.edge_list();
   const double r = partition::replication_factor(el, partitioning);
   const NumaModel numa(domains);
+  const part_t resolved_parts = partitioning.num_partitions();
 
   partition::StorageInputs in;
   in.num_vertices = el.num_vertices();
   in.num_edges = el.num_edges();
 
-  Table t("partition report: " + path + " at P=" + std::to_string(parts));
+  Table t("partition report: " + path + " at P=" +
+          std::to_string(resolved_parts) +
+          (resolved_parts == parts
+               ? std::string()
+               : " (requested " + std::to_string(parts) + ")"));
   t.header({"metric", "value"});
   t.row({"edge imbalance (max/mean)",
          Table::num(partitioning.edge_imbalance(), 3)});
@@ -285,14 +422,30 @@ int cmd_partition_report(const std::string& path, part_t parts, int domains) {
   t.row({"storage CSR pruned [MiB]",
          Table::num(partition::storage_csr_pruned(in, r) / 1048576.0, 1)});
   t.row({"storage CSR unpruned [MiB]",
-         Table::num(partition::storage_csr_unpruned(in, parts) / 1048576.0,
+         Table::num(partition::storage_csr_unpruned(in, resolved_parts) /
+                        1048576.0,
                     1)});
   t.row({"storage GG-v2 composite [MiB]",
          Table::num(partition::storage_graphgrind_v2(in) / 1048576.0, 1)});
   std::cout << t;
 
+  // The [partitioner] section: everything needed to reproduce (and trust)
+  // a fig3-matrix row from the CLI — the strategy, the exact resolved
+  // parameter bag it ran with, and the three locality figures.
+  const auto& resolved_opts = builder.options();
+  Table pt("[partitioner]");
+  pt.header({"metric", "value"});
+  pt.row({"strategy", resolved_opts.partitioner});
+  pt.row({"params", params_summary(resolved_opts.partitioner_params)});
+  pt.row({"replication factor r(p)", Table::num(r, 3)});
+  pt.row({"edge imbalance (max/mean)",
+          Table::num(partitioning.edge_imbalance(), 3)});
+  pt.row({"vertex imbalance (max/mean)",
+          Table::num(partitioning.vertex_imbalance(), 3)});
+  std::cout << pt;
+
   // Domain map: how the partitions (and their edges) spread over the NUMA
-  // domains the arenas would place them on.  No graph is built here, so
+  // domains the arenas would place them on.  No layouts were built, so
   // there are no arena bytes to show.
   print_domain_map(partitioning, numa, "domain map",
                    /*with_arena_bytes=*/false);
@@ -315,6 +468,8 @@ int cmd_run(const std::vector<std::string>& args) {
   graph::BuildOptions bopts;
   engine::Options eopts;
   algorithms::Params params;
+  std::string partitioner = partition::kContiguousPartitioner;
+  std::vector<std::string> ppart_kvs;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -334,6 +489,10 @@ int cmd_run(const std::vector<std::string>& args) {
       const auto o = graph::parse_ordering(next());
       if (!o) return usage();
       bopts.ordering = *o;
+    } else if (a == "--partitioner") {
+      partitioner = next();
+    } else if (a == "--ppart") {
+      ppart_kvs.push_back(next());
     } else if (a == "--source") {
       // Schema resolution would reject this as "unknown parameter", which
       // reads like a typo'd key; say what is actually wrong.
@@ -384,6 +543,7 @@ int cmd_run(const std::vector<std::string>& args) {
   bopts.build_partitioned_csr =
       eopts.layout == engine::Layout::kPartitionedCsr;
   bopts.build_pcpm_bins = eopts.layout == engine::Layout::kPcpm;
+  if (!apply_partitioner_flags(partitioner, ppart_kvs, &bopts)) return 1;
 
   auto el = load_any(path);
   Timer build_timer;
@@ -419,8 +579,11 @@ int cmd_run(const std::vector<std::string>& args) {
               << g.to_internal(source) << " (internal)";
   }
   std::cout << "\n"
-            << "partitioning: edge imbalance "
-            << Table::num(pe.edge_imbalance(), 3) << ", replication r(p) "
+            << "partitioning: " << g.build_options().partitioner << " ("
+            << params_summary(g.build_options().partitioner_params)
+            << "), edge imbalance " << Table::num(pe.edge_imbalance(), 3)
+            << ", vertex imbalance " << Table::num(pe.vertex_imbalance(), 3)
+            << ", replication r(p) "
             << Table::num(partition::replication_factor(g.edge_list(), pe), 3)
             << "\n"
             << algo << " completed in " << Table::num(run_s, 4)
@@ -565,6 +728,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::string script_path;
   std::chrono::milliseconds deadline{0};
   std::vector<std::pair<std::string, std::string>> extra_graphs;
+  std::string partitioner = partition::kContiguousPartitioner;
+  std::vector<std::string> ppart_kvs;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -600,12 +765,17 @@ int cmd_serve(const std::vector<std::string>& args) {
       const auto o = graph::parse_ordering(next());
       if (!o) return usage();
       bopts.ordering = *o;
+    } else if (a == "--partitioner") {
+      partitioner = next();
+    } else if (a == "--ppart") {
+      ppart_kvs.push_back(next());
     } else if (a == "--domains") {
       bopts.numa_domains = std::stoi(next());
     } else {
       return usage();
     }
   }
+  if (!apply_partitioner_flags(partitioner, ppart_kvs, &bopts)) return 1;
 
   auto el = load_any(path);
   Timer build_timer;
@@ -797,16 +967,14 @@ int main(int argc, char** argv) {
     const std::string cmd = args[0];
     args.erase(args.begin());
     if (cmd == "algos") return cmd_algos(args);
+    if (cmd == "partitioners") return cmd_partitioners(args);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert" && args.size() == 2) {
       save_any(load_any(args[0]), args[1]);
       return 0;
     }
     if (cmd == "stats" && args.size() == 1) return cmd_stats(args[0]);
-    if (cmd == "partition-report" && (args.size() == 2 || args.size() == 3))
-      return cmd_partition_report(
-          args[0], static_cast<part_t>(std::stoul(args[1])),
-          args.size() == 3 ? std::stoi(args[2]) : NumaModel::kDefaultDomains);
+    if (cmd == "partition-report") return cmd_partition_report(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "serve") return cmd_serve(args);
     return usage();
